@@ -1,0 +1,50 @@
+"""Shared workloads for the benchmark suite.
+
+Sizes are chosen so the full suite runs in a couple of minutes while the
+quadratic-vs-linear separations stay clearly visible in the timings.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.generators import (
+    containment_biased_pair,
+    division_workload,
+    equal_sets_pair,
+    sparse_division_workload,
+)
+
+
+@pytest.fixture(scope="session")
+def division_instance_small():
+    """A 100-key division instance (dense: keys contain the divisor)."""
+    return division_workload(
+        num_keys=100, divisor_size=12, hit_fraction=0.3, seed=1
+    )
+
+
+@pytest.fixture(scope="session")
+def division_instance_sparse():
+    """A sparse 300×150 instance where quadratic strategies suffer."""
+    return sparse_division_workload(
+        num_keys=300, divisor_size=150, seed=2
+    )
+
+
+@pytest.fixture(scope="session")
+def containment_instance():
+    """A Zipf set-containment workload (120 × 120 sets)."""
+    return containment_biased_pair(
+        num_left=120,
+        num_right=120,
+        universe_size=64,
+        containment_fraction=0.25,
+        seed=5,
+    )
+
+
+@pytest.fixture(scope="session")
+def equality_instance():
+    """A set-equality workload with a quadratic output component."""
+    return equal_sets_pair(num_groups=10, group_size=8)

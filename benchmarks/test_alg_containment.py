@@ -1,0 +1,38 @@
+"""ALG-SCJ — the set-containment join shoot-out ([13, 15, 16])."""
+
+import pytest
+
+from repro.setjoins.containment import (
+    CONTAINMENT_ALGORITHMS,
+    scj_nested_loop,
+)
+from repro.setjoins.signatures import make_signature
+from repro.workloads.generators import zipf_set_relation
+
+
+@pytest.mark.parametrize("name", sorted(CONTAINMENT_ALGORITHMS))
+def test_containment_join(benchmark, name, containment_instance):
+    left, right = containment_instance
+    benchmark.group = "alg-scj"
+    result = benchmark(CONTAINMENT_ALGORITHMS[name], left, right)
+    assert result == scj_nested_loop(left, right)
+
+
+@pytest.mark.parametrize("skew", [0.2, 1.2])
+def test_skew_sensitivity_signature(benchmark, skew):
+    """Signature pruning degrades as hot elements saturate signatures."""
+    left = zipf_set_relation(80, 6, 14, 48, skew=skew, seed=21)
+    right = zipf_set_relation(
+        80, 2, 5, 48, skew=skew, seed=22, key_offset=10**6
+    )
+    benchmark.group = f"alg-scj-skew-{skew}"
+    result = benchmark(CONTAINMENT_ALGORITHMS["signature"], left, right)
+    assert result == scj_nested_loop(left, right)
+
+
+def test_signature_construction(benchmark, containment_instance):
+    left, __ = containment_instance
+    sigs = benchmark(
+        lambda: [make_signature(left[key]) for key in left.keys()]
+    )
+    assert len(sigs) == len(left)

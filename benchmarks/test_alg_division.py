@@ -1,0 +1,34 @@
+"""ALG-DIV — the division algorithm shoot-out (Graefe [11, 12])."""
+
+import pytest
+
+from repro.setjoins.division import (
+    DIVISION_ALGORITHMS,
+    DIVISION_EQ_ALGORITHMS,
+    divide_reference,
+    divide_reference_eq,
+)
+
+
+@pytest.mark.parametrize("name", sorted(DIVISION_ALGORITHMS))
+def test_containment_division_dense(benchmark, name, division_instance_small):
+    rows, divisor = division_instance_small
+    benchmark.group = "alg-div-dense"
+    result = benchmark(DIVISION_ALGORITHMS[name], rows, divisor)
+    assert result == divide_reference(rows, divisor)
+
+
+@pytest.mark.parametrize("name", sorted(DIVISION_ALGORITHMS))
+def test_containment_division_sparse(benchmark, name, division_instance_sparse):
+    rows, divisor = division_instance_sparse
+    benchmark.group = "alg-div-sparse"
+    result = benchmark(DIVISION_ALGORITHMS[name], rows, divisor)
+    assert result == divide_reference(rows, divisor)
+
+
+@pytest.mark.parametrize("name", sorted(DIVISION_EQ_ALGORITHMS))
+def test_equality_division(benchmark, name, division_instance_small):
+    rows, divisor = division_instance_small
+    benchmark.group = "alg-div-eq"
+    result = benchmark(DIVISION_EQ_ALGORITHMS[name], rows, divisor)
+    assert result == divide_reference_eq(rows, divisor)

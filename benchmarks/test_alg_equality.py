@@ -1,0 +1,24 @@
+"""ALG-SEJ — set-equality joins (footnote 1: O(n log n) plus output)."""
+
+import pytest
+
+from repro.setjoins.equality import EQUALITY_ALGORITHMS, sej_nested_loop
+from repro.workloads.generators import equal_sets_pair, zipf_set_relation
+
+
+@pytest.mark.parametrize("name", sorted(EQUALITY_ALGORITHMS))
+def test_equality_join_quadratic_output(benchmark, name, equality_instance):
+    left, right = equality_instance
+    benchmark.group = "alg-sej-quadratic-output"
+    result = benchmark(EQUALITY_ALGORITHMS[name], left, right)
+    assert len(result) == 10 * 8 * 8  # groups · size²
+
+
+@pytest.mark.parametrize("name", ["sort", "hash"])
+def test_equality_join_sparse_output(benchmark, name):
+    """Random sets rarely coincide: output ~ empty, sorting dominates."""
+    left = zipf_set_relation(150, 3, 8, 64, seed=31)
+    right = zipf_set_relation(150, 3, 8, 64, seed=32, key_offset=10**6)
+    benchmark.group = "alg-sej-sparse-output"
+    result = benchmark(EQUALITY_ALGORITHMS[name], left, right)
+    assert result == sej_nested_loop(left, right)

@@ -1,0 +1,51 @@
+"""EX3 — the lousy-bars query: SA= evaluation vs GF model checking."""
+
+from repro.algebra.evaluator import evaluate
+from repro.algebra.parser import parse
+from repro.data.schema import Schema
+from repro.logic.ast import Not, atom, exists
+from repro.logic.eval import answers
+from repro.workloads.generators import random_database
+
+SCHEMA = Schema({"Likes": 2, "Serves": 2, "Visits": 2})
+
+
+def sa_expression():
+    return parse(
+        "project[1](Visits semijoin[2=1] (project[1](Serves) minus "
+        "project[1](Serves semijoin[2=2] Likes)))",
+        SCHEMA,
+    )
+
+
+def gf_formula():
+    return exists(
+        "y",
+        atom("Visits", "x", "y"),
+        exists("u", atom("Serves", "y", "u"))
+        & Not(
+            exists(
+                "z",
+                atom("Serves", "y", "z"),
+                exists("w", atom("Likes", "w", "z")),
+            )
+        ),
+    )
+
+
+def workload():
+    return random_database(SCHEMA, rows_per_relation=60, domain_size=25, seed=4)
+
+
+def test_sa_evaluation_benchmark(benchmark):
+    db = workload()
+    expr = sa_expression()
+    result = benchmark(evaluate, expr, db)
+    assert result == answers(db, gf_formula(), ["x"])
+
+
+def test_gf_model_checking_benchmark(benchmark):
+    db = workload()
+    phi = gf_formula()
+    result = benchmark(answers, db, phi, ["x"])
+    assert result == evaluate(sa_expression(), db)

@@ -1,0 +1,55 @@
+"""FIG1 — set-containment join and division on the medical example.
+
+Regenerates Fig. 1's two result tables and times the operators both on
+the paper's 8-row instance and on a scaled medical-style workload.
+"""
+
+import pytest
+
+from repro.bench.figures import (
+    FIG1_CONTAINMENT_JOIN,
+    FIG1_DIVISION,
+    fig1_database,
+)
+from repro.setjoins.containment import scj_nested_loop, scj_signature
+from repro.setjoins.division import divide_hash, divide_reference
+from repro.setjoins.setrel import SetRelation
+from repro.workloads.generators import zipf_set_relation
+
+
+def test_fig1_containment_join_benchmark(benchmark):
+    db = fig1_database()
+    person = SetRelation.from_binary(db["Person"])
+    disease = SetRelation.from_binary(db["Disease"])
+    result = benchmark(scj_nested_loop, person, disease)
+    assert result == FIG1_CONTAINMENT_JOIN
+
+
+def test_fig1_division_benchmark(benchmark):
+    db = fig1_database()
+    symptoms = [b for (b,) in db["Symptoms"]]
+    result = benchmark(divide_hash, db["Person"], symptoms)
+    assert result == FIG1_DIVISION
+
+
+@pytest.mark.parametrize("patients", [50, 200])
+def test_fig1_scaled_medical_workload(benchmark, patients):
+    """The same query shape at realistic sizes (Zipf symptom sets)."""
+    persons = zipf_set_relation(
+        num_sets=patients, min_size=2, max_size=8, universe_size=30,
+        seed=patients,
+    )
+    diseases = zipf_set_relation(
+        num_sets=20, min_size=2, max_size=5, universe_size=30,
+        seed=patients + 1, key_offset=10**6,
+    )
+    benchmark.group = f"fig1-scaled-{patients}"
+    result = benchmark(scj_signature, persons, diseases)
+    assert result == scj_nested_loop(persons, diseases)
+
+
+def test_fig1_division_reference_agreement(benchmark):
+    db = fig1_database()
+    symptoms = [b for (b,) in db["Symptoms"]]
+    result = benchmark(divide_reference, db["Person"], symptoms)
+    assert result == FIG1_DIVISION

@@ -1,0 +1,27 @@
+"""FIG2 — C-stored tuple checking and enumeration."""
+
+from repro.bench.figures import fig2_database
+from repro.data.stored import c_stored_tuples, is_c_stored
+from repro.workloads.generators import random_database
+from repro.data.schema import Schema
+
+
+def test_fig2_examples_benchmark(benchmark):
+    db = fig2_database()
+
+    def check_all():
+        return (
+            is_c_stored(("b", "c"), db, {"a"}),
+            is_c_stored(("a", "f"), db, {"a"}),
+            is_c_stored(("e", "c"), db, {"a"}),
+            is_c_stored(("g",), db, {"a"}),
+        )
+
+    results = benchmark(check_all)
+    assert results == (True, True, False, False)
+
+
+def test_cstored_enumeration_benchmark(benchmark):
+    db = random_database(Schema({"R": 3, "S": 2}), 40, domain_size=20, seed=9)
+    rows = benchmark(lambda: list(c_stored_tuples(db, (0, 1), 2)))
+    assert all(is_c_stored(row, db, (0, 1)) for row in rows[:50])

@@ -1,0 +1,22 @@
+"""FIG3 — guarded bisimulation computation."""
+
+from repro.bench.figures import (
+    fig3_bisimulation,
+    fig3_databases,
+)
+from repro.bisim.bisimulation import (
+    greatest_bisimulation,
+    is_guarded_bisimulation,
+)
+
+
+def test_fig3_verification_benchmark(benchmark):
+    a, b = fig3_databases()
+    paper_set = fig3_bisimulation()
+    assert benchmark(is_guarded_bisimulation, paper_set, a, b)
+
+
+def test_fig3_greatest_bisimulation_benchmark(benchmark):
+    a, b = fig3_databases()
+    greatest = benchmark(greatest_bisimulation, a, b)
+    assert set(greatest) == set(fig3_bisimulation())

@@ -1,0 +1,25 @@
+"""FIG4 — the Lemma 24 blow-up: construction cost and output growth."""
+
+import pytest
+
+from repro.algebra.evaluator import evaluate
+from repro.bench.figures import fig4_witness
+from repro.core.blowup import blow_up
+
+
+@pytest.mark.parametrize("n", [4, 16, 64])
+def test_blowup_construction_benchmark(benchmark, n):
+    witness = fig4_witness()
+    benchmark.group = f"fig4-blowup-n{n}"
+    result = benchmark(blow_up, witness, n)
+    assert result.database.size() <= 2 * witness.db.size() * n
+
+
+@pytest.mark.parametrize("n", [4, 16, 64])
+def test_blowup_join_evaluation_benchmark(benchmark, n):
+    """Evaluating E on Dn: the quadratic output makes itself felt."""
+    witness = fig4_witness()
+    blown = blow_up(witness, n)
+    benchmark.group = f"fig4-eval-n{n}"
+    rows = benchmark(evaluate, witness.join, blown.database)
+    assert len(rows) >= n * n

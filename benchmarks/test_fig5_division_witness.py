@@ -1,0 +1,46 @@
+"""FIG5 — the division-inexpressibility witness pair."""
+
+import pytest
+
+from repro.bench.figures import fig5_bisimulation, fig5_databases
+from repro.bisim.bisimulation import (
+    are_bisimilar,
+    is_guarded_bisimulation,
+)
+from repro.setjoins.division import divide_reference
+from repro.workloads.generators import fig5_scaled_pair
+
+
+def test_fig5_division_differs(benchmark):
+    a, b = fig5_databases()
+
+    def both():
+        return (
+            divide_reference(a["R"], a["S"]),
+            divide_reference(b["R"], b["S"]),
+        )
+
+    quotient_a, quotient_b = benchmark(both)
+    assert quotient_a == {1, 2}
+    assert quotient_b == frozenset()
+
+
+def test_fig5_verify_paper_bisimulation(benchmark):
+    a, b = fig5_databases()
+    assert benchmark(is_guarded_bisimulation, fig5_bisimulation(), a, b)
+
+
+def test_fig5_bisimilarity_decision(benchmark):
+    a, b = fig5_databases()
+    verdict = benchmark(are_bisimilar, a, (1,), b, (1,))
+    assert verdict.bisimilar
+
+
+@pytest.mark.parametrize("width", [3, 6])
+def test_fig5_scaled_bisimilarity(benchmark, width):
+    a, b = fig5_scaled_pair(width)
+    benchmark.group = f"fig5-scaled-{width}"
+    verdict = benchmark(are_bisimilar, a, (100,), b, (100,))
+    assert verdict.bisimilar
+    assert divide_reference(a["R"], a["S"])
+    assert not divide_reference(b["R"], b["S"])

@@ -1,0 +1,40 @@
+"""FIG6 — the beer-drinkers witness pair (§4.1)."""
+
+from repro.algebra.evaluator import evaluate
+from repro.algebra.parser import parse
+from repro.bench.figures import (
+    BEER_SCHEMA,
+    fig6_bisimulation,
+    fig6_databases,
+)
+from repro.bisim.bisimulation import bisimilar, is_guarded_bisimulation
+
+
+def beer_query():
+    return parse(
+        "project[1](select[2=3](select[4=6](select[1=5]("
+        "Visits join[] (Serves join[] Likes)))))",
+        BEER_SCHEMA,
+    )
+
+
+def test_fig6_query_results(benchmark):
+    a, b = fig6_databases()
+    q = beer_query()
+
+    def run():
+        return evaluate(q, a), evaluate(q, b)
+
+    on_a, on_b = benchmark(run)
+    assert on_a == frozenset({("alex",)})
+    assert on_b == frozenset()
+
+
+def test_fig6_verify_paper_bisimulation(benchmark):
+    a, b = fig6_databases()
+    assert benchmark(is_guarded_bisimulation, fig6_bisimulation(), a, b)
+
+
+def test_fig6_bisimilarity_decision(benchmark):
+    a, b = fig6_databases()
+    assert benchmark(bisimilar, a, ("alex",), b, ("alex",))

@@ -1,0 +1,34 @@
+"""THM8 — cost of the SA= ↔ GF translations and of evaluating them."""
+
+from repro.algebra.evaluator import evaluate
+from repro.algebra.parser import parse
+from repro.data.schema import Schema
+from repro.logic.ast import Not, atom, exists
+from repro.logic.eval import answers, answers_c_stored
+from repro.logic.gf_to_sa import gf_to_sa
+from repro.logic.sa_to_gf import sa_to_gf
+from repro.workloads.generators import random_database
+
+SCHEMA = Schema({"R": 2, "S": 1})
+
+
+def test_sa_to_gf_translation_benchmark(benchmark):
+    expr = parse("project[1](R semijoin[2=1] (S minus project[2](R)))", SCHEMA)
+    phi = benchmark(sa_to_gf, expr, SCHEMA)
+    db = random_database(SCHEMA, 5, 6, seed=0)
+    assert answers(db, phi, ["x1"]) == evaluate(expr, db)
+
+
+def test_gf_to_sa_translation_benchmark(benchmark):
+    phi = Not(exists("y", atom("R", "x", "y"), atom("S", "y")))
+    expr = benchmark(gf_to_sa, phi, SCHEMA, (), ["x"])
+    db = random_database(SCHEMA, 5, 6, seed=1)
+    assert evaluate(expr, db) == answers_c_stored(db, phi, ["x"])
+
+
+def test_translated_expression_evaluation_benchmark(benchmark):
+    phi = Not(exists("y", atom("R", "x", "y"), atom("S", "y")))
+    expr = gf_to_sa(phi, SCHEMA, (), ["x"])
+    db = random_database(SCHEMA, 40, 20, seed=2)
+    result = benchmark(evaluate, expr, db)
+    assert result == answers_c_stored(db, phi, ["x"])

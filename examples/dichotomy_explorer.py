@@ -1,0 +1,93 @@
+"""The dichotomy in action: classify, measure, compile.
+
+Feeds a portfolio of RA expressions through the Theorem 17/18 pipeline:
+each is classified (with certificates), its intermediate growth is
+measured along an appropriate database family, and the linear ones are
+compiled to SA=.
+
+Run with::
+
+    python examples/dichotomy_explorer.py [EXPRESSION]
+
+An optional expression argument (over schema R:2, S:1) is analyzed too,
+e.g.::
+
+    python examples/dichotomy_explorer.py 'R join[1=1] R'
+"""
+
+import sys
+
+from repro.algebra import parse, to_text
+from repro.bench.harness import format_table
+from repro.core import Verdict, classify, compile_to_sa, measure_growth
+from repro.core.growth import blowup_family
+from repro.data import Schema, database
+from repro.data.universe import RATIONALS
+
+SCHEMA = Schema({"R": 2, "S": 1})
+
+PORTFOLIO = [
+    "R semijoin[2=1] S",
+    "R join[2=1] S",
+    "project[1](R) union project[2](R)",
+    "R semijoin[2<1] S",
+    "R cartesian S",
+    "R join[1=1] R",
+    "S join[1<1] S",
+    "project[1](R) minus project[1]((project[1](R) cartesian S) minus R)",
+]
+
+
+def linear_family(n: int):
+    rows = [(i, 10**6 + i % max(1, n // 2)) for i in range(n)]
+    return database(
+        {"R": 2, "S": 1},
+        R=rows,
+        S=[(10**6 + i,) for i in range(max(1, n // 2))],
+    )
+
+
+def analyze_one(text: str) -> list:
+    expr = parse(text, SCHEMA)
+    classification = classify(expr, SCHEMA, RATIONALS)
+    if classification.verdict is Verdict.QUADRATIC:
+        family = blowup_family(classification.evidence.witness)
+    else:
+        family = linear_family
+    growth = measure_growth(expr, family, (8, 16, 32, 64))
+    compiled = "-"
+    if classification.verdict is Verdict.LINEAR:
+        try:
+            compiled = f"{compile_to_sa(expr, SCHEMA, RATIONALS).size()} nodes"
+        except Exception:
+            compiled = "SA (order semijoin)"
+    return [
+        text,
+        classification.verdict.value,
+        f"{growth.max_exponent():.2f}",
+        compiled,
+    ]
+
+
+def main() -> None:
+    expressions = PORTFOLIO + sys.argv[1:]
+    rows = [analyze_one(text) for text in expressions]
+    print(
+        format_table(
+            ["expression", "verdict", "growth exponent", "SA= compilation"],
+            rows,
+        )
+    )
+    exponents = sorted(float(row[2]) for row in rows)
+    print(
+        "\nExponent spectrum:",
+        " ".join(f"{e:.2f}" for e in exponents),
+    )
+    print(
+        "Per Theorem 17 the spectrum is bimodal — everything clusters"
+        "\nat <= 1 (linear) or >= 2 (quadratic); n·log n is impossible."
+    )
+
+
+if __name__ == "__main__":
+    main()

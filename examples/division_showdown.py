@@ -1,0 +1,99 @@
+"""Division strategies head to head: RA plan vs γ plan vs algorithms.
+
+Reproduces the practical story behind Proposition 26 and Section 5:
+the classic RA plan materializes a quadratic intermediate, the grouping
+plan and the direct algorithms stay linear, and the gap widens with the
+instance.
+
+Run with::
+
+    python examples/division_showdown.py
+"""
+
+import time
+
+from repro.algebra import evaluate, trace
+from repro.bench.harness import format_table
+from repro.extended import (
+    containment_division_plan,
+    evaluate_extended,
+    trace_extended,
+)
+from repro.setjoins import (
+    classic_division_expr,
+    divide_counting,
+    divide_hash,
+    divide_nested_loop,
+    divide_reference,
+    divide_sort_merge,
+)
+from repro.workloads.generators import crossproduct_division_family
+
+
+def timed(fn, *args):
+    start = time.perf_counter()
+    result = fn(*args)
+    return result, (time.perf_counter() - start) * 1000
+
+
+def main() -> None:
+    ra_plan = classic_division_expr()
+    gamma_plan = containment_division_plan()
+
+    size_rows = []
+    time_rows = []
+    for n in (32, 64, 128, 256):
+        db = crossproduct_division_family(n)
+        divisor = [b for (b,) in db["S"]]
+        expected = divide_reference(db["R"], divisor)
+
+        ra_result, ra_ms = timed(evaluate, ra_plan, db)
+        gamma_result, gamma_ms = timed(evaluate_extended, gamma_plan, db)
+        __, nl_ms = timed(divide_nested_loop, db["R"], divisor)
+        __, sort_ms = timed(divide_sort_merge, db["R"], divisor)
+        __, hash_ms = timed(divide_hash, db["R"], divisor)
+        __, count_ms = timed(divide_counting, db["R"], divisor)
+
+        assert {a for (a,) in ra_result} == expected
+        assert {a for (a,) in gamma_result} == expected
+
+        ra_max = trace(ra_plan, db).max_intermediate()
+        gamma_max = trace_extended(gamma_plan, db).max_intermediate()
+        size_rows.append([db.size(), ra_max, gamma_max])
+        time_rows.append(
+            [
+                db.size(),
+                f"{ra_ms:7.1f}",
+                f"{gamma_ms:7.1f}",
+                f"{nl_ms:7.1f}",
+                f"{sort_ms:7.1f}",
+                f"{hash_ms:7.1f}",
+                f"{count_ms:7.1f}",
+            ]
+        )
+
+    print("max intermediate result size (tuples):")
+    print(
+        format_table(
+            ["|D|", "classic RA plan", "γ plan (§5)"], size_rows
+        )
+    )
+    print(
+        "\nwall-clock (ms) — classic RA plan vs γ plan vs direct"
+        " algorithms:"
+    )
+    print(
+        format_table(
+            ["|D|", "RA plan", "γ plan", "nested", "sort", "hash", "count"],
+            time_rows,
+        )
+    )
+    print(
+        "\nShape check (Prop. 26 / §5): the RA plan's intermediate grows"
+        "\nquadratically while everything else stays (near-)linear — in"
+        "\nplain RA division cannot be fixed, one algebra up it can."
+    )
+
+
+if __name__ == "__main__":
+    main()

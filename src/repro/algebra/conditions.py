@@ -1,0 +1,199 @@
+"""Join and semijoin conditions (Definition 1, item 6).
+
+A condition θ is a conjunction ``⋀_{s=1..k} i_s α_s j_s`` where each
+``α_s`` is one of ``=``, ``≠``, ``<``, ``>``, each ``i_s`` is a 1-based
+position of the left operand and each ``j_s`` a 1-based position of the
+right operand.  The empty conjunction (``k = 0``) is allowed and makes
+the join a cartesian product.
+
+:class:`Condition` is an immutable conjunction of :class:`Atom` s with
+the decompositions ``θ^α`` of Definition 20.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator
+
+from repro.data.universe import Value
+from repro.errors import ParseError, PositionError, SchemaError
+
+#: The comparison symbols of the paper, in canonical textual form.
+OPS: tuple[str, ...] = ("=", "!=", "<", ">")
+
+_MIRROR = {"=": "=", "!=": "!=", "<": ">", ">": "<"}
+
+_EVAL: dict[str, Callable[[Value, Value], bool]] = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    ">": lambda a, b: a > b,
+}
+
+
+@dataclass(frozen=True)
+class Atom:
+    """One conjunct ``i α j`` of a condition.
+
+    ``i`` refers to the left operand's columns, ``j`` to the right
+    operand's, both 1-based as in the paper.
+    """
+
+    i: int
+    op: str
+    j: int
+
+    def __post_init__(self) -> None:
+        if self.op not in OPS:
+            raise SchemaError(
+                f"unknown comparison {self.op!r}; expected one of {OPS}"
+            )
+        if self.i < 1:
+            raise PositionError(self.i, 0, "condition (left side)")
+        if self.j < 1:
+            raise PositionError(self.j, 0, "condition (right side)")
+
+    def holds(self, left: tuple[Value, ...], right: tuple[Value, ...]) -> bool:
+        """Evaluate the atom on a pair of tuples."""
+        return _EVAL[self.op](left[self.i - 1], right[self.j - 1])
+
+    def mirrored(self) -> "Atom":
+        """The same constraint with the operand roles swapped."""
+        return Atom(self.j, _MIRROR[self.op], self.i)
+
+    def __str__(self) -> str:
+        return f"{self.i}{self.op}{self.j}"
+
+
+@dataclass(frozen=True)
+class Condition:
+    """A conjunction of atoms; the empty conjunction is ``TRUE``."""
+
+    atoms: tuple[Atom, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "atoms", tuple(self.atoms))
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def of(*atoms: Atom | tuple[int, str, int] | str) -> "Condition":
+        """Build a condition from atoms, triples, or strings like ``"2=1"``.
+
+        >>> Condition.of("2=1", (3, "<", 1))
+        Condition(atoms=(Atom(i=2, op='=', j=1), Atom(i=3, op='<', j=1)))
+        """
+        built: list[Atom] = []
+        for atom in atoms:
+            if isinstance(atom, Atom):
+                built.append(atom)
+            elif isinstance(atom, tuple):
+                built.append(Atom(*atom))
+            else:
+                built.append(parse_atom(atom))
+        return Condition(tuple(built))
+
+    @staticmethod
+    def parse(text: str) -> "Condition":
+        """Parse ``"2=1, 3<1"`` into a condition.  Empty text is TRUE."""
+        text = text.strip()
+        if not text:
+            return Condition()
+        return Condition.of(*[part for part in text.split(",")])
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Atom]:
+        return iter(self.atoms)
+
+    def __len__(self) -> int:
+        return len(self.atoms)
+
+    def __bool__(self) -> bool:
+        return bool(self.atoms)
+
+    def is_equi(self) -> bool:
+        """Whether every atom uses ``=`` (the RA= / SA= restriction)."""
+        return all(atom.op == "=" for atom in self.atoms)
+
+    def by_op(self, op: str) -> tuple[Atom, ...]:
+        """The decomposition ``θ^α`` of Definition 20, as atoms."""
+        if op not in OPS:
+            raise SchemaError(f"unknown comparison {op!r}")
+        return tuple(atom for atom in self.atoms if atom.op == op)
+
+    def pairs_by_op(self, op: str) -> frozenset[tuple[int, int]]:
+        """``θ^α`` viewed as the set of pairs ``(i_s, j_s)``."""
+        return frozenset((a.i, a.j) for a in self.by_op(op))
+
+    def eq_pairs(self) -> frozenset[tuple[int, int]]:
+        """``θ^=`` as a set of pairs — the input to Definition 20."""
+        return self.pairs_by_op("=")
+
+    def max_left(self) -> int:
+        """The largest left position mentioned (0 if none)."""
+        return max((a.i for a in self.atoms), default=0)
+
+    def max_right(self) -> int:
+        """The largest right position mentioned (0 if none)."""
+        return max((a.j for a in self.atoms), default=0)
+
+    def holds(self, left: tuple[Value, ...], right: tuple[Value, ...]) -> bool:
+        """Evaluate the conjunction on a pair of tuples."""
+        return all(atom.holds(left, right) for atom in self.atoms)
+
+    def mirrored(self) -> "Condition":
+        """The condition for the operand-swapped join."""
+        return Condition(tuple(atom.mirrored() for atom in self.atoms))
+
+    def normalized(self) -> "Condition":
+        """Atoms sorted and deduplicated — a canonical form."""
+        unique = sorted(set(self.atoms), key=lambda a: (a.i, a.op, a.j))
+        return Condition(tuple(unique))
+
+    def validate(self, left_arity: int, right_arity: int) -> None:
+        """Check all positions fit the operand arities."""
+        for atom in self.atoms:
+            if atom.i > left_arity:
+                raise PositionError(atom.i, left_arity, f"condition {self}")
+            if atom.j > right_arity:
+                raise PositionError(atom.j, right_arity, f"condition {self}")
+
+    def __str__(self) -> str:
+        return ",".join(str(atom) for atom in self.atoms)
+
+
+#: The empty condition (cartesian product).
+TRUE = Condition()
+
+
+def parse_atom(text: str) -> Atom:
+    """Parse a single atom such as ``"2=1"`` or ``" 3 != 1 "``."""
+    raw = text.strip()
+    for op in ("!=", "=", "<", ">"):  # two-char operator first
+        if op in raw:
+            left, __, right = raw.partition(op)
+            try:
+                return Atom(int(left.strip()), op, int(right.strip()))
+            except ValueError as exc:
+                raise ParseError(f"bad condition atom {text!r}") from exc
+    raise ParseError(f"no comparison operator in condition atom {text!r}")
+
+
+def condition(spec: "Condition | str | Iterable[Atom | tuple[int, str, int] | str] | None") -> Condition:
+    """Coerce the many accepted condition spellings into a :class:`Condition`.
+
+    Accepts ``None`` (TRUE), a :class:`Condition`, a string like
+    ``"2=1,3<1"``, or an iterable of atoms / triples / strings.
+    """
+    if spec is None:
+        return TRUE
+    if isinstance(spec, Condition):
+        return spec
+    if isinstance(spec, str):
+        return Condition.parse(spec)
+    return Condition.of(*spec)

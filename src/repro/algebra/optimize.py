@@ -1,0 +1,149 @@
+"""Plan optimization: semijoin introduction and operator pushdown.
+
+The paper's Corollary 19 says the queries computable with linear
+intermediate results are exactly the SA= queries — so a practical
+optimizer should *recognize* joins that the query only uses as filters
+and rewrite them into semijoins.  :func:`introduce_semijoins` does
+exactly that:
+
+    π_p̄(E1 ⋈_θ E2)   →   π_p̄(E1 ⋉_θ E2)      when p̄ only uses E1's
+                                                 columns (and mirrored
+                                                 when only E2's)
+
+turning, e.g., the quadratic plan ``π[1,2](R ⋈[1=1] R)`` into the
+linear ``π[1,2](R ⋉[1=1] R)``.  The rewrite is semantics-preserving for
+**every** θ (set semantics collapses the duplicate left rows the join
+would produce).
+
+Also provided: selection pushdown through join/semijoin/union/difference
+and projection-pruning, composing into :func:`optimize`.  All rewrites
+are property-tested for equivalence, and the optimizer's effect on
+intermediate sizes is measured by the OPT ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.ast import (
+    ConstantTag,
+    Difference,
+    Expr,
+    Join,
+    Projection,
+    Rel,
+    Selection,
+    Semijoin,
+    Union,
+)
+from repro.algebra.conditions import Atom, Condition
+from repro.algebra.rewrites import map_expression, simplify
+
+
+def introduce_semijoins(expr: Expr) -> Expr:
+    """Rewrite projected joins into semijoins wherever sound.
+
+    Bottom-up; fires when a projection over a join only references one
+    operand's columns.  The mirrored (right-only) case swaps the
+    operands and mirrors θ.
+    """
+    expr = map_expression(expr, introduce_semijoins)
+    if not isinstance(expr, Projection):
+        return expr
+    child = expr.child
+    if not isinstance(child, Join):
+        return expr
+    left_arity = child.left.arity
+    if all(position <= left_arity for position in expr.positions):
+        return Projection(
+            Semijoin(child.left, child.right, child.cond), expr.positions
+        )
+    if all(position > left_arity for position in expr.positions):
+        remapped = tuple(
+            position - left_arity for position in expr.positions
+        )
+        return Projection(
+            Semijoin(child.right, child.left, child.cond.mirrored()),
+            remapped,
+        )
+    return expr
+
+
+def push_selections(expr: Expr) -> Expr:
+    """Push selections toward the leaves.
+
+    * through union/difference: ``σ(A ∪ B) → σ(A) ∪ σ(B)`` (same for −);
+    * into a join/semijoin operand when both columns live on one side
+      (for joins: either side; for semijoins: the left side only);
+    * a selection spanning both join operands becomes a θ-atom.
+    """
+    expr = map_expression(expr, push_selections)
+    if not isinstance(expr, Selection):
+        return expr
+    child = expr.child
+    if isinstance(child, Union):
+        return Union(
+            push_selections(Selection(child.left, expr.op, expr.i, expr.j)),
+            push_selections(Selection(child.right, expr.op, expr.i, expr.j)),
+        )
+    if isinstance(child, Difference):
+        # σ(A − B) = σ(A) − B (filtering the subtrahend is optional).
+        return Difference(
+            push_selections(Selection(child.left, expr.op, expr.i, expr.j)),
+            child.right,
+        )
+    if isinstance(child, (Join, Semijoin)):
+        left_arity = child.left.arity
+        node = type(child)
+        if expr.i <= left_arity and expr.j <= left_arity:
+            return node(
+                push_selections(
+                    Selection(child.left, expr.op, expr.i, expr.j)
+                ),
+                child.right,
+                child.cond,
+            )
+        if (
+            isinstance(child, Join)
+            and expr.i > left_arity
+            and expr.j > left_arity
+        ):
+            return Join(
+                child.left,
+                push_selections(
+                    Selection(
+                        child.right,
+                        expr.op,
+                        expr.i - left_arity,
+                        expr.j - left_arity,
+                    )
+                ),
+                child.cond,
+            )
+        if isinstance(child, Join):
+            # One column on each side: absorb into θ.
+            if expr.i <= left_arity:
+                atom = Atom(expr.i, expr.op, expr.j - left_arity)
+            else:
+                mirrored_op = {"=": "=", "<": ">"}[expr.op]
+                atom = Atom(expr.j, mirrored_op, expr.i - left_arity)
+            return Join(
+                child.left,
+                child.right,
+                Condition(child.cond.atoms + (atom,)),
+            )
+    return expr
+
+
+def prune_projections(expr: Expr) -> Expr:
+    """Collapse stacked projections and drop identity projections."""
+    return simplify(expr)
+
+
+def optimize(expr: Expr) -> Expr:
+    """The composed pipeline: push σ, introduce ⋉, prune π.
+
+    Idempotent on its own output (property-tested); never changes the
+    result relation on any database.
+    """
+    expr = push_selections(expr)
+    expr = introduce_semijoins(expr)
+    return prune_projections(expr)

@@ -1,0 +1,72 @@
+"""Brute-force reference evaluator — the test oracle.
+
+A direct transcription of the semantic equations of Definitions 1 and 2:
+no hash indexes, no memoization, no sharing.  Deliberately simple so that
+its correctness is evident by inspection; the production evaluator in
+:mod:`repro.algebra.evaluator` is tested against it on random inputs.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.ast import (
+    ConstantTag,
+    Difference,
+    Expr,
+    Join,
+    Projection,
+    Rel,
+    Selection,
+    Semijoin,
+    Union,
+)
+from repro.data.database import Database, Row
+from repro.errors import SchemaError
+
+
+def evaluate_reference(expr: Expr, db: Database) -> frozenset[Row]:
+    """Evaluate ``expr`` on ``db`` by the semantic equations, literally."""
+    if isinstance(expr, Rel):
+        return db[expr.name]
+    if isinstance(expr, Union):
+        return evaluate_reference(expr.left, db) | evaluate_reference(
+            expr.right, db
+        )
+    if isinstance(expr, Difference):
+        return evaluate_reference(expr.left, db) - evaluate_reference(
+            expr.right, db
+        )
+    if isinstance(expr, Projection):
+        child = evaluate_reference(expr.child, db)
+        return frozenset(
+            tuple(row[i - 1] for i in expr.positions) for row in child
+        )
+    if isinstance(expr, Selection):
+        child = evaluate_reference(expr.child, db)
+        if expr.op == "=":
+            return frozenset(
+                row for row in child if row[expr.i - 1] == row[expr.j - 1]
+            )
+        return frozenset(
+            row for row in child if row[expr.i - 1] < row[expr.j - 1]
+        )
+    if isinstance(expr, ConstantTag):
+        child = evaluate_reference(expr.child, db)
+        return frozenset(row + (expr.value,) for row in child)
+    if isinstance(expr, Join):
+        left = evaluate_reference(expr.left, db)
+        right = evaluate_reference(expr.right, db)
+        return frozenset(
+            lrow + rrow
+            for lrow in left
+            for rrow in right
+            if expr.cond.holds(lrow, rrow)
+        )
+    if isinstance(expr, Semijoin):
+        left = evaluate_reference(expr.left, db)
+        right = evaluate_reference(expr.right, db)
+        return frozenset(
+            lrow
+            for lrow in left
+            if any(expr.cond.holds(lrow, rrow) for rrow in right)
+        )
+    raise SchemaError(f"unknown expression node: {type(expr).__name__}")

@@ -1,0 +1,48 @@
+"""Validation of expressions against schemas.
+
+Structural constraints (position ranges, arity agreement) are enforced
+at construction time by the AST itself; what remains to check against a
+*schema* is that every relation reference exists and carries the
+declared arity.  :func:`validate` raises on the first problem;
+:func:`problems` collects all of them.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.ast import Expr, Rel
+from repro.data.schema import Schema
+from repro.errors import ArityError, SchemaError, UnknownRelationError
+
+
+def validate(expr: Expr, schema: Schema) -> None:
+    """Raise if any relation reference disagrees with ``schema``."""
+    for issue in problems(expr, schema):
+        raise issue
+
+
+def problems(expr: Expr, schema: Schema) -> list[SchemaError]:
+    """All schema violations of the expression, in traversal order."""
+    found: list[SchemaError] = []
+    reported: set[tuple[str, int]] = set()
+    for node in expr.subexpressions():
+        if not isinstance(node, Rel):
+            continue
+        key = (node.name, node.arity)
+        if key in reported:
+            continue
+        reported.add(key)
+        if node.name not in schema:
+            found.append(UnknownRelationError(node.name))
+        elif schema[node.name] != node.arity:
+            found.append(
+                ArityError(
+                    f"expression uses {node.name!r} with arity "
+                    f"{node.arity}, schema declares {schema[node.name]}"
+                )
+            )
+    return found
+
+
+def is_valid(expr: Expr, schema: Schema) -> bool:
+    """Whether the expression is well-formed over the schema."""
+    return not problems(expr, schema)

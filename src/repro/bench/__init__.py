@@ -1,0 +1,33 @@
+"""Experiment harness regenerating every figure and theorem claim."""
+
+from repro.bench.harness import (
+    Claim,
+    Experiment,
+    ExperimentResult,
+    REGISTRY,
+    experiment,
+    format_table,
+    run_all,
+    run_experiment,
+)
+from repro.bench.metrics import (
+    ContainmentWork,
+    DivisionWork,
+    containment_work,
+    division_work,
+)
+
+__all__ = [
+    "Claim",
+    "Experiment",
+    "ExperimentResult",
+    "REGISTRY",
+    "experiment",
+    "format_table",
+    "run_all",
+    "run_experiment",
+    "ContainmentWork",
+    "DivisionWork",
+    "containment_work",
+    "division_work",
+]

@@ -1,0 +1,44 @@
+"""Run experiments from the command line.
+
+Usage::
+
+    python -m repro.bench            # run everything
+    python -m repro.bench FIG4 THM17 # run a selection
+    python -m repro.bench --list     # list experiment ids
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.harness import REGISTRY, run_all, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    import repro.bench.experiments  # noqa: F401 - populate the registry
+
+    if "--list" in args:
+        for experiment_id in sorted(REGISTRY):
+            meta = REGISTRY[experiment_id]
+            print(f"{experiment_id:8} {meta.title}")
+        return 0
+
+    ids = args or sorted(REGISTRY)
+    unknown = [i for i in ids if i not in REGISTRY]
+    if unknown:
+        print(f"unknown experiment ids: {unknown}", file=sys.stderr)
+        print(f"known: {sorted(REGISTRY)}", file=sys.stderr)
+        return 2
+
+    all_passed = True
+    for experiment_id in ids:
+        result = run_experiment(experiment_id)
+        print(result.render())
+        print()
+        all_passed = all_passed and result.passed()
+    return 0 if all_passed else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

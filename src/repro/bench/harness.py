@@ -1,0 +1,142 @@
+"""Experiment harness: registry, claims, and rendering.
+
+Every experiment in :mod:`repro.bench.experiments` regenerates one paper
+artifact (a figure, an example, or a theorem-level claim) and reports
+*checked claims*: named boolean facts with supporting detail.  Shape
+claims (who wins, what grows quadratically, where results match the
+paper's printed tables) are asserted on deterministic quantities —
+cardinalities, certificates, agreement — never on wall-clock time;
+timing lives in the pytest-benchmark files under ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One checked fact: a name, whether it held, and the evidence."""
+
+    name: str
+    passed: bool
+    detail: str = ""
+
+    def render(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        suffix = f"  ({self.detail})" if self.detail else ""
+        return f"  [{status}] {self.name}{suffix}"
+
+
+@dataclass
+class ExperimentResult:
+    """The outcome of one experiment run."""
+
+    experiment_id: str
+    title: str
+    paper_claim: str
+    claims: list[Claim] = field(default_factory=list)
+    tables: list[tuple[str, str]] = field(default_factory=list)
+
+    def check(self, name: str, passed: bool, detail: str = "") -> None:
+        """Record one claim."""
+        self.claims.append(Claim(name, bool(passed), detail))
+
+    def add_table(self, title: str, body: str) -> None:
+        """Attach a rendered table (shown by ``render``)."""
+        self.tables.append((title, body))
+
+    def passed(self) -> bool:
+        """Whether every claim held (and at least one was checked)."""
+        return bool(self.claims) and all(c.passed for c in self.claims)
+
+    def render(self) -> str:
+        lines = [
+            f"=== {self.experiment_id}: {self.title} ===",
+            f"paper claim: {self.paper_claim}",
+        ]
+        lines.extend(claim.render() for claim in self.claims)
+        for title, body in self.tables:
+            lines.append(f"--- {title} ---")
+            lines.append(body)
+        verdict = "OK" if self.passed() else "MISMATCH"
+        lines.append(f"=> {verdict}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A registered experiment."""
+
+    experiment_id: str
+    title: str
+    paper_claim: str
+    run: Callable[[], ExperimentResult]
+
+
+#: The global registry, populated by :mod:`repro.bench.experiments`.
+REGISTRY: dict[str, Experiment] = {}
+
+
+def experiment(experiment_id: str, title: str, paper_claim: str):
+    """Decorator registering an experiment function.
+
+    The function receives a fresh :class:`ExperimentResult` and must
+    return it (filled in).
+    """
+
+    def wrap(fn: Callable[[ExperimentResult], ExperimentResult]):
+        def run() -> ExperimentResult:
+            result = ExperimentResult(
+                experiment_id=experiment_id,
+                title=title,
+                paper_claim=paper_claim,
+            )
+            return fn(result)
+
+        REGISTRY[experiment_id] = Experiment(
+            experiment_id=experiment_id,
+            title=title,
+            paper_claim=paper_claim,
+            run=run,
+        )
+        return fn
+
+    return wrap
+
+
+def run_experiment(experiment_id: str) -> ExperimentResult:
+    """Run one experiment by id (raises ``KeyError`` for unknown ids)."""
+    import repro.bench.experiments  # noqa: F401 - populate the registry
+
+    return REGISTRY[experiment_id].run()
+
+
+def run_all() -> Mapping[str, ExperimentResult]:
+    """Run every registered experiment, in id order."""
+    import repro.bench.experiments  # noqa: F401 - populate the registry
+
+    return {
+        experiment_id: REGISTRY[experiment_id].run()
+        for experiment_id in sorted(REGISTRY)
+    }
+
+
+def format_table(headers: list[str], rows: list[list[object]]) -> str:
+    """A minimal aligned ASCII table."""
+    cells = [[str(h) for h in headers]] + [
+        [str(value) for value in row] for row in rows
+    ]
+    widths = [
+        max(len(row[col]) for row in cells)
+        for col in range(len(headers))
+    ]
+    lines = []
+    for index, row in enumerate(cells):
+        lines.append(
+            "  ".join(value.ljust(width) for value, width in zip(row, widths))
+        )
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)

@@ -1,0 +1,43 @@
+"""C-guarded bisimulations (Definitions 9–11, Proposition 13)."""
+
+from repro.bisim.game import (
+    GuardedBisimulationGame,
+    SpoilerMove,
+    spoiler_strategy,
+)
+from repro.bisim.distinguish import (
+    find_distinguishing_expression,
+    probe_expressions,
+)
+from repro.bisim.bisimulation import (
+    BisimilarityResult,
+    RefinementTrace,
+    are_bisimilar,
+    bisimilar,
+    candidate_pool,
+    greatest_bisimulation,
+    is_guarded_bisimulation,
+)
+from repro.bisim.partial_iso import (
+    PartialIso,
+    is_c_partial_isomorphism,
+    tuple_map,
+)
+
+__all__ = [
+    "BisimilarityResult",
+    "RefinementTrace",
+    "are_bisimilar",
+    "bisimilar",
+    "candidate_pool",
+    "greatest_bisimulation",
+    "is_guarded_bisimulation",
+    "PartialIso",
+    "is_c_partial_isomorphism",
+    "tuple_map",
+    "find_distinguishing_expression",
+    "probe_expressions",
+    "GuardedBisimulationGame",
+    "SpoilerMove",
+    "spoiler_strategy",
+]

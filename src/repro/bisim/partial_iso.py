@@ -1,0 +1,169 @@
+"""C-partial isomorphisms (Definition 10).
+
+A mapping ``f : X → Y`` between value sets of two databases is a
+*C-partial isomorphism* if it is bijective, preserves membership of
+every relation in both directions (for tuples over its domain), respects
+the order ``<``, and fixes the constants in ``C`` (``x = c ⇔ f(x) = c``).
+
+:class:`PartialIso` is an immutable mapping with
+:func:`is_c_partial_isomorphism` implementing the definition literally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Iterable, Iterator, Mapping
+
+from repro.data.database import Database, Row
+from repro.data.universe import Value
+from repro.errors import SchemaError
+
+
+@dataclass(frozen=True)
+class PartialIso:
+    """A finite mapping between value sets, as a sorted tuple of pairs."""
+
+    pairs: tuple[tuple[Value, Value], ...]
+
+    def __post_init__(self) -> None:
+        ordered = tuple(sorted(set(self.pairs), key=lambda p: (repr(p[0]), repr(p[1]))))
+        object.__setattr__(self, "pairs", ordered)
+        sources = [a for a, __ in ordered]
+        if len(set(sources)) != len(sources):
+            raise SchemaError(f"not a function: duplicate sources in {ordered}")
+
+    # -- constructors -----------------------------------------------------
+
+    @staticmethod
+    def from_mapping(mapping: Mapping[Value, Value]) -> "PartialIso":
+        return PartialIso(tuple(mapping.items()))
+
+    @staticmethod
+    def from_tuples(source: Row, target: Row) -> "PartialIso":
+        """The map sending ``source`` to ``target`` componentwise.
+
+        Raises :class:`~repro.errors.SchemaError` if the tuples induce an
+        inconsistent mapping (same source value to two targets).
+        """
+        if len(source) != len(target):
+            raise SchemaError(
+                f"tuple arity mismatch: {source!r} vs {target!r}"
+            )
+        mapping: dict[Value, Value] = {}
+        for a, b in zip(source, target):
+            if a in mapping and mapping[a] != b:
+                raise SchemaError(
+                    f"inconsistent mapping: {a!r} -> {mapping[a]!r} and {b!r}"
+                )
+            mapping[a] = b
+        return PartialIso.from_mapping(mapping)
+
+    # -- mapping interface -------------------------------------------------
+
+    def as_dict(self) -> dict[Value, Value]:
+        return dict(self.pairs)
+
+    def domain(self) -> frozenset[Value]:
+        return frozenset(a for a, __ in self.pairs)
+
+    def image(self) -> frozenset[Value]:
+        return frozenset(b for __, b in self.pairs)
+
+    def __call__(self, value: Value) -> Value:
+        for a, b in self.pairs:
+            if a == value:
+                return b
+        raise KeyError(value)
+
+    def apply_tuple(self, row: Row) -> Row:
+        mapping = self.as_dict()
+        return tuple(mapping[v] for v in row)
+
+    def is_bijective(self) -> bool:
+        targets = [b for __, b in self.pairs]
+        return len(set(targets)) == len(targets)
+
+    def inverse(self) -> "PartialIso":
+        if not self.is_bijective():
+            raise SchemaError("cannot invert a non-injective mapping")
+        return PartialIso(tuple((b, a) for a, b in self.pairs))
+
+    def agrees_with(self, other: "PartialIso", on: Iterable[Value]) -> bool:
+        """Whether both maps send every value of ``on`` to the same image."""
+        mine = self.as_dict()
+        theirs = other.as_dict()
+        return all(mine.get(v) == theirs.get(v) for v in on)
+
+    def restrict(self, to: Iterable[Value]) -> "PartialIso":
+        keep = set(to)
+        return PartialIso(
+            tuple((a, b) for a, b in self.pairs if a in keep)
+        )
+
+    def __iter__(self) -> Iterator[tuple[Value, Value]]:
+        return iter(self.pairs)
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{a!r}→{b!r}" for a, b in self.pairs)
+        return f"PartialIso({inner})"
+
+
+def is_c_partial_isomorphism(
+    f: PartialIso,
+    db_a: Database,
+    db_b: Database,
+    constants: Iterable[Value] = (),
+) -> bool:
+    """Definition 10, checked literally.
+
+    * bijective;
+    * for each relation ``R`` and all tuples over the domain:
+      ``x̄ ∈ A(R) ⇔ f(x̄) ∈ B(R)``;
+    * for all ``x, y`` in the domain: ``x < y ⇔ f(x) < f(y)``;
+    * for all ``x`` in the domain and ``c ∈ C``: ``x = c ⇔ f(x) = c``.
+    """
+    if db_a.schema != db_b.schema:
+        raise SchemaError("partial isomorphisms need a common schema")
+    if not f.is_bijective():
+        return False
+    mapping = f.as_dict()
+    domain = f.domain()
+    image = f.image()
+    inverse = {b: a for a, b in f.pairs}
+
+    # Relation preservation, both directions.  Tuples over the domain
+    # are exactly the stored tuples whose value set lies inside it.
+    for name in db_a.schema:
+        for row in db_a[name]:
+            if set(row) <= domain:
+                if tuple(mapping[v] for v in row) not in db_b[name]:
+                    return False
+        for row in db_b[name]:
+            if set(row) <= image:
+                if tuple(inverse[v] for v in row) not in db_a[name]:
+                    return False
+
+    # Order preservation.
+    for (x, fx), (y, fy) in product(f.pairs, repeat=2):
+        if (x < y) != (fx < fy):
+            return False
+
+    # Constant preservation.
+    constant_set = set(constants)
+    for x, fx in f.pairs:
+        for c in constant_set:
+            if (x == c) != (fx == c):
+                return False
+    return True
+
+
+def tuple_map(source: Row, target: Row) -> PartialIso | None:
+    """``source → target`` as a partial iso, or ``None`` if inconsistent."""
+    try:
+        return PartialIso.from_tuples(source, target)
+    except SchemaError:
+        return None

@@ -1,0 +1,269 @@
+"""Command-line interface: ``repro`` (or ``python -m repro``).
+
+Subcommands::
+
+    repro eval     -d db.json 'project[1](R join[2=1] S)'
+    repro trace    -d db.json 'project[1](R) cartesian S'
+    repro classify -d db.json 'R cartesian S'           # db optional
+    repro compile  'R join[2=1] S' --schema 'R:2,S:1'
+    repro divide   -d db.json --dividend R --divisor S [--algorithm hash]
+    repro bisim    -a left.json -b right.json --left-tuple 1 --right-tuple 1
+    repro bench    [EXPERIMENT_ID ...]
+
+Expressions use the textual syntax of :mod:`repro.algebra.parser`; the
+schema comes from the database file or from ``--schema 'R:2,S:1'``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.algebra.evaluator import evaluate
+from repro.algebra.parser import parse
+from repro.algebra.printer import to_ascii, to_text
+from repro.algebra.trace import trace
+from repro.bisim.bisimulation import are_bisimilar
+from repro.core.compile_sa import compile_to_sa
+from repro.core.dichotomy import analyze
+from repro.data.schema import Schema
+from repro.data.universe import INTEGERS, RATIONALS, STRINGS
+from repro.errors import ReproError
+from repro.io.json_io import load_database
+from repro.setjoins.division import DIVISION_ALGORITHMS, divide_reference
+
+_UNIVERSES = {
+    "integers": INTEGERS,
+    "rationals": RATIONALS,
+    "strings": STRINGS,
+}
+
+
+def _parse_schema(text: str) -> Schema:
+    entries = {}
+    for part in text.split(","):
+        name, __, arity = part.partition(":")
+        entries[name.strip()] = int(arity)
+    return Schema(entries)
+
+
+def _parse_value(text: str):
+    try:
+        return int(text)
+    except ValueError:
+        return text
+
+
+def _schema_for(args) -> Schema:
+    if getattr(args, "database", None):
+        return load_database(args.database).schema
+    if getattr(args, "schema", None):
+        return _parse_schema(args.schema)
+    raise ReproError("provide --database or --schema")
+
+
+def _cmd_eval(args) -> int:
+    db = load_database(args.database)
+    expr = parse(args.expression, db.schema)
+    rows = sorted(evaluate(expr, db), key=repr)
+    for row in rows:
+        print("\t".join(str(v) for v in row))
+    print(f"-- {len(rows)} row(s)", file=sys.stderr)
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    db = load_database(args.database)
+    expr = parse(args.expression, db.schema)
+    print(trace(expr, db).report())
+    return 0
+
+
+def _cmd_classify(args) -> int:
+    schema = _schema_for(args)
+    expr = parse(args.expression, schema)
+    universe = _UNIVERSES[args.universe]
+    report = analyze(expr, schema, universe)
+    print(report.summary())
+    return 0
+
+
+def _cmd_compile(args) -> int:
+    schema = _schema_for(args)
+    expr = parse(args.expression, schema)
+    universe = _UNIVERSES[args.universe]
+    compiled = compile_to_sa(expr, schema, universe)
+    print(to_ascii(compiled) if args.ascii else to_text(compiled))
+    return 0
+
+
+def _cmd_divide(args) -> int:
+    db = load_database(args.database)
+    algorithm = (
+        DIVISION_ALGORITHMS[args.algorithm]
+        if args.algorithm != "reference"
+        else divide_reference
+    )
+    quotient = algorithm(db[args.dividend], db[args.divisor])
+    for value in sorted(quotient, key=repr):
+        print(value)
+    print(f"-- {len(quotient)} row(s)", file=sys.stderr)
+    return 0
+
+
+def _cmd_optimize(args) -> int:
+    from repro.algebra.optimize import optimize
+
+    schema = _schema_for(args)
+    expr = parse(args.expression, schema)
+    rewritten = optimize(expr)
+    print(to_ascii(rewritten) if args.ascii else to_text(rewritten))
+    return 0
+
+
+def _cmd_gf(args) -> int:
+    from repro.logic.eval import answers, answers_c_stored
+    from repro.logic.parser import parse_formula
+
+    db = load_database(args.database)
+    phi = parse_formula(args.formula)
+    var_order = args.vars or sorted(phi.free_variables())
+    constants = tuple(_parse_value(v) for v in args.constants or ())
+    answer_fn = answers_c_stored if args.c_stored else answers
+    rows = sorted(
+        answer_fn(db, phi, var_order, constants=constants), key=repr
+    )
+    print("\t".join(var_order))
+    for row in rows:
+        print("\t".join(str(v) for v in row))
+    print(f"-- {len(rows)} row(s)", file=sys.stderr)
+    return 0
+
+
+def _cmd_bisim(args) -> int:
+    left = load_database(args.left)
+    right = load_database(args.right)
+    left_tuple = tuple(_parse_value(v) for v in args.left_tuple)
+    right_tuple = tuple(_parse_value(v) for v in args.right_tuple)
+    constants = tuple(_parse_value(v) for v in args.constants or ())
+    verdict = are_bisimilar(left, left_tuple, right, right_tuple, constants)
+    print("bisimilar" if verdict.bisimilar else "NOT bisimilar")
+    print(verdict.reason)
+    return 0 if verdict.bisimilar else 1
+
+
+def _cmd_bench(args) -> int:
+    from repro.bench.__main__ import main as bench_main
+
+    return bench_main(args.ids)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of Leinders & Van den Bussche, 'On the "
+            "complexity of division and set joins in the relational "
+            "algebra'."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_eval = sub.add_parser("eval", help="evaluate an expression")
+    p_eval.add_argument("expression")
+    p_eval.add_argument("-d", "--database", required=True)
+    p_eval.set_defaults(fn=_cmd_eval)
+
+    p_trace = sub.add_parser(
+        "trace", help="evaluate, reporting intermediate sizes"
+    )
+    p_trace.add_argument("expression")
+    p_trace.add_argument("-d", "--database", required=True)
+    p_trace.set_defaults(fn=_cmd_trace)
+
+    p_classify = sub.add_parser(
+        "classify", help="run the dichotomy analysis"
+    )
+    p_classify.add_argument("expression")
+    p_classify.add_argument("-d", "--database")
+    p_classify.add_argument("--schema", help="e.g. 'R:2,S:1'")
+    p_classify.add_argument(
+        "--universe", choices=sorted(_UNIVERSES), default="integers"
+    )
+    p_classify.set_defaults(fn=_cmd_classify)
+
+    p_compile = sub.add_parser(
+        "compile", help="compile RA to SA= (Theorem 18)"
+    )
+    p_compile.add_argument("expression")
+    p_compile.add_argument("-d", "--database")
+    p_compile.add_argument("--schema", help="e.g. 'R:2,S:1'")
+    p_compile.add_argument(
+        "--universe", choices=sorted(_UNIVERSES), default="integers"
+    )
+    p_compile.add_argument("--ascii", action="store_true")
+    p_compile.set_defaults(fn=_cmd_compile)
+
+    p_divide = sub.add_parser("divide", help="relational division")
+    p_divide.add_argument("-d", "--database", required=True)
+    p_divide.add_argument("--dividend", default="R")
+    p_divide.add_argument("--divisor", default="S")
+    p_divide.add_argument(
+        "--algorithm",
+        choices=["reference"] + sorted(DIVISION_ALGORITHMS),
+        default="hash",
+    )
+    p_divide.set_defaults(fn=_cmd_divide)
+
+    p_optimize = sub.add_parser(
+        "optimize", help="push selections, introduce semijoins"
+    )
+    p_optimize.add_argument("expression")
+    p_optimize.add_argument("-d", "--database")
+    p_optimize.add_argument("--schema", help="e.g. 'R:2,S:1'")
+    p_optimize.add_argument("--ascii", action="store_true")
+    p_optimize.set_defaults(fn=_cmd_optimize)
+
+    p_gf = sub.add_parser(
+        "gf", help="evaluate a guarded-fragment formula"
+    )
+    p_gf.add_argument("formula")
+    p_gf.add_argument("-d", "--database", required=True)
+    p_gf.add_argument("--vars", nargs="*", help="output variable order")
+    p_gf.add_argument("--constants", nargs="*")
+    p_gf.add_argument(
+        "--c-stored",
+        action="store_true",
+        help="restrict answers to C-stored tuples (Theorem 8 convention)",
+    )
+    p_gf.set_defaults(fn=_cmd_gf)
+
+    p_bisim = sub.add_parser(
+        "bisim", help="decide C-guarded bisimilarity"
+    )
+    p_bisim.add_argument("-a", "--left", required=True)
+    p_bisim.add_argument("-b", "--right", required=True)
+    p_bisim.add_argument("--left-tuple", nargs="+", required=True)
+    p_bisim.add_argument("--right-tuple", nargs="+", required=True)
+    p_bisim.add_argument("--constants", nargs="*")
+    p_bisim.set_defaults(fn=_cmd_bisim)
+
+    p_bench = sub.add_parser("bench", help="run paper experiments")
+    p_bench.add_argument("ids", nargs="*")
+    p_bench.set_defaults(fn=_cmd_bench)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

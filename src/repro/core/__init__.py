@@ -1,0 +1,70 @@
+"""The paper's core machinery: free values, blow-up, dichotomy, compiler."""
+
+from repro.core.blowup import (
+    BlowupResult,
+    BlowupWitness,
+    blow_up,
+    blow_up_sequence,
+    find_witness,
+)
+from repro.core.classify import (
+    Classification,
+    QuadraticEvidence,
+    Verdict,
+    classify,
+    default_search_databases,
+    grounded_columns,
+    join_is_safe,
+    unsafe_joins,
+)
+from repro.core.compile_sa import (
+    compile_join,
+    compile_to_sa,
+    tagged_values,
+)
+from repro.core.dichotomy import DichotomyReport, analyze
+from repro.core.freevalues import (
+    doubly_free_pairs,
+    free_values,
+    free_values_of_join,
+    joining_pairs,
+)
+from repro.core.growth import (
+    GrowthReport,
+    SubexpressionGrowth,
+    blowup_family,
+    fit_loglog_slope,
+    measure_growth,
+)
+from repro.core.joininfo import JoinInfo
+
+__all__ = [
+    "BlowupResult",
+    "BlowupWitness",
+    "blow_up",
+    "blow_up_sequence",
+    "find_witness",
+    "Classification",
+    "QuadraticEvidence",
+    "Verdict",
+    "classify",
+    "default_search_databases",
+    "grounded_columns",
+    "join_is_safe",
+    "unsafe_joins",
+    "compile_join",
+    "compile_to_sa",
+    "tagged_values",
+    "DichotomyReport",
+    "analyze",
+    "doubly_free_pairs",
+    "free_values",
+    "free_values_of_join",
+    "joining_pairs",
+    "JoinInfo",
+    "GrowthReport",
+    "SubexpressionGrowth",
+    "blowup_family",
+    "fit_loglog_slope",
+    "measure_growth",
+]

@@ -1,0 +1,295 @@
+"""The dichotomy classifier (Theorems 17 and 18).
+
+Every RA expression is either *linear* (all intermediate results O(n))
+or *quadratic* (some intermediate Ω(n²)) — Theorem 17.  Deciding which
+side a given expression falls on is as hard as query equivalence, so the
+classifier is sound rather than complete.  It returns one of:
+
+``LINEAR``
+    with a *syntactic certificate*: every join node has a side all of
+    whose columns are either equality-constrained (Definition 20) or
+    provably constant; such expressions satisfy the Theorem 18
+    hypothesis and compile to SA= (:mod:`repro.core.compile_sa`).
+    Semijoin nodes are linear by construction.
+
+``QUADRATIC``
+    with a *Lemma 24 witness*: a concrete database and joining pair,
+    doubly free, found by searching candidate databases; the witness
+    replays into an Ω(n²) family via :mod:`repro.core.blowup`, and the
+    returned certificates are checked, not assumed.
+
+``UNKNOWN``
+    neither certificate was found within budget.  (By Theorem 17 the
+    truth is still one of the two.)
+
+The *grounded-columns* analysis is a small abstract interpretation
+tracking which output columns provably hold a fixed constant on every
+database; a grounded column can never contribute a free value because
+constants are excluded by Definition 22.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from itertools import count
+from typing import Mapping, Sequence
+
+from repro.algebra.ast import (
+    ConstantTag,
+    Difference,
+    Expr,
+    Join,
+    Projection,
+    Rel,
+    Selection,
+    Semijoin,
+    Union,
+)
+from repro.core.blowup import BlowupResult, BlowupWitness, blow_up, find_witness
+from repro.core.joininfo import JoinInfo
+from repro.data.database import Database
+from repro.data.schema import Schema
+from repro.data.universe import INTEGERS, StringUniverse, Universe, Value
+from repro.errors import AnalysisError, SchemaError
+
+#: Which output columns provably hold which constant value.
+Grounding = Mapping[int, Value]
+
+
+class Verdict(Enum):
+    """The three classifier outcomes."""
+
+    LINEAR = "linear"
+    QUADRATIC = "quadratic"
+    UNKNOWN = "unknown"
+
+
+def grounded_columns(expr: Expr) -> dict[int, Value]:
+    """Columns of ``expr`` that hold a fixed constant on every database."""
+    if isinstance(expr, Rel):
+        return {}
+    if isinstance(expr, ConstantTag):
+        grounded = dict(grounded_columns(expr.child))
+        grounded[expr.child.arity + 1] = expr.value
+        return grounded
+    if isinstance(expr, Projection):
+        inner = grounded_columns(expr.child)
+        return {
+            out_pos: inner[in_pos]
+            for out_pos, in_pos in enumerate(expr.positions, start=1)
+            if in_pos in inner
+        }
+    if isinstance(expr, Selection):
+        grounded = dict(grounded_columns(expr.child))
+        if expr.op == "=":
+            if expr.i in grounded and expr.j not in grounded:
+                grounded[expr.j] = grounded[expr.i]
+            elif expr.j in grounded and expr.i not in grounded:
+                grounded[expr.i] = grounded[expr.j]
+        return grounded
+    if isinstance(expr, Union):
+        left = grounded_columns(expr.left)
+        right = grounded_columns(expr.right)
+        return {
+            pos: value
+            for pos, value in left.items()
+            if right.get(pos) == value
+        }
+    if isinstance(expr, Difference):
+        return grounded_columns(expr.left)
+    if isinstance(expr, (Join, Semijoin)):
+        left = grounded_columns(expr.left)
+        right = grounded_columns(expr.right)
+        info = JoinInfo.of(expr)
+        # Equality atoms propagate groundings across the join.
+        changed = True
+        while changed:
+            changed = False
+            for i, j in info.theta_eq():
+                if i in left and j not in right:
+                    right[j] = left[i]
+                    changed = True
+                elif j in right and i not in left:
+                    left[i] = right[j]
+                    changed = True
+        if isinstance(expr, Semijoin):
+            return left
+        shifted = {expr.left.arity + j: v for j, v in right.items()}
+        return {**left, **shifted}
+    raise SchemaError(f"unknown node {type(expr).__name__}")
+
+
+def join_is_safe(node: "Join | Semijoin") -> bool:
+    """Whether one side is fully covered by constrained ∪ grounded columns.
+
+    Sufficient for the Theorem 18 hypothesis: every joining pair then
+    has an empty free-value set on that side (each value of the covered
+    side is either equality-pinned or a constant in C).
+    """
+    info = JoinInfo.of(node)
+    left_grounded = set(grounded_columns(node.left))
+    right_grounded = set(grounded_columns(node.right))
+    left_ok = info.unc1() <= left_grounded
+    right_ok = info.unc2() <= right_grounded
+    return left_ok or right_ok
+
+
+def unsafe_joins(expr: Expr) -> tuple[Join, ...]:
+    """Join nodes without a syntactic safety certificate."""
+    found: list[Join] = []
+    for node in expr.subexpressions():
+        if isinstance(node, Join) and not join_is_safe(node):
+            if node not in found:
+                found.append(node)
+    return tuple(found)
+
+
+@dataclass(frozen=True)
+class QuadraticEvidence:
+    """A verified Lemma 24 witness for one join sub-expression."""
+
+    join: Join
+    witness: BlowupWitness
+    checks: tuple[BlowupResult, ...]
+
+    def verified(self) -> bool:
+        return all(
+            all(result.certify().values()) for result in self.checks
+        )
+
+
+@dataclass(frozen=True)
+class Classification:
+    """The classifier's output."""
+
+    expr: Expr
+    verdict: Verdict
+    reason: str
+    evidence: QuadraticEvidence | None = None
+
+    def __bool__(self) -> bool:
+        return self.verdict is not Verdict.UNKNOWN
+
+
+def default_search_databases(
+    schema: Schema,
+    sizes: Sequence[int] = (3, 4),
+    universe: Universe = INTEGERS,
+) -> list[Database]:
+    """Deterministic candidate databases for the witness search.
+
+    Three families per size: all-distinct values ("spread"), heavily
+    shared values ("collide"), and chains linking relations — enough to
+    expose a doubly-free joining pair for the common quadratic shapes
+    (cartesian products, non-key joins, order joins).  Values are drawn
+    from the given universe (integers, or zero-padded strings for the
+    string universe) so the blow-up construction can insert fresh
+    elements next to them.
+    """
+
+    def value(index: int) -> Value:
+        if isinstance(universe, StringUniverse):
+            return f"v{index:04d}"
+        return index
+
+    candidates: list[Database] = []
+    fresh = count(start=0)
+    for size in sizes:
+        spread: dict[str, list[tuple[Value, ...]]] = {}
+        for name in schema:
+            arity = schema[name]
+            spread[name] = [
+                tuple(value(next(fresh)) for __ in range(arity))
+                for __ in range(size)
+            ]
+        candidates.append(Database(schema, spread))
+
+        collide: dict[str, list[tuple[Value, ...]]] = {}
+        for name in schema:
+            arity = schema[name]
+            collide[name] = [
+                tuple(
+                    value((row * 31 + col) % size)
+                    for col in range(arity)
+                )
+                for row in range(size)
+            ]
+        candidates.append(Database(schema, collide))
+
+        chain: dict[str, list[tuple[Value, ...]]] = {}
+        for offset, name in enumerate(schema):
+            arity = schema[name]
+            chain[name] = [
+                tuple(value(row + offset + col) for col in range(arity))
+                for row in range(size)
+            ]
+        candidates.append(Database(schema, chain))
+    return candidates
+
+
+def classify(
+    expr: Expr,
+    schema: Schema,
+    universe: Universe = INTEGERS,
+    search_databases: Sequence[Database] | None = None,
+    verify_ns: Sequence[int] = (2, 4),
+) -> Classification:
+    """Classify an RA/SA expression as LINEAR / QUADRATIC / UNKNOWN.
+
+    Parameters
+    ----------
+    expr, schema:
+        The expression and the schema its relations live in.
+    universe:
+        Determines which constant intervals are finite (Definition 22)
+        and how the blow-up creates fresh elements.
+    search_databases:
+        Candidate seeds for the Lemma 24 witness search; defaults to
+        :func:`default_search_databases`.
+    verify_ns:
+        Blow-up sizes used to *check* a found witness before trusting it.
+    """
+    suspects = unsafe_joins(expr)
+    if not suspects:
+        return Classification(
+            expr,
+            Verdict.LINEAR,
+            "every join has a side fully covered by constrained ∪ "
+            "grounded columns; semijoins are linear by construction",
+        )
+
+    constants = tuple(sorted(expr.constants(), key=repr))
+    if search_databases is None:
+        search_databases = default_search_databases(schema, universe=universe)
+
+    for node in suspects:
+        for db in search_databases:
+            try:
+                witness = find_witness(node, db, constants, universe)
+            except (SchemaError, AnalysisError):
+                continue
+            if witness is None:
+                continue
+            try:
+                checks = tuple(blow_up(witness, n) for n in verify_ns)
+            except AnalysisError:
+                continue
+            evidence = QuadraticEvidence(node, witness, checks)
+            if evidence.verified():
+                return Classification(
+                    expr,
+                    Verdict.QUADRATIC,
+                    f"join {node.cond or '×'} has a doubly-free joining "
+                    f"pair ({witness.left_tuple!r}, "
+                    f"{witness.right_tuple!r}); Lemma 24 blow-up "
+                    f"verified at n ∈ {tuple(verify_ns)}",
+                    evidence=evidence,
+                )
+
+    return Classification(
+        expr,
+        Verdict.UNKNOWN,
+        f"{len(suspects)} join(s) lack a safety certificate but no "
+        "verified blow-up witness was found in the search budget",
+    )

@@ -1,0 +1,242 @@
+"""The Theorem 18 compiler: non-quadratic RA → SA=.
+
+The proof of Theorems 17/18 rewrites a join ``E = E1 ⋈_θ E2`` whose
+joining pairs always have an empty free-value set on one side as
+``Z1 ∪ Z2``, where ``Z2`` covers the pairs with ``F2(b̄) = ∅`` (b̄ is
+recoverable from ā, the constants, and the finite constant intervals)
+and ``Z1`` symmetrically.  With ``{v1, ..., vm}`` the set
+``C ∪ ⋃ finite [c_i, c_i+1]`` (:meth:`Universe.excluded_by_constants`),
+the paper's Z2 is::
+
+    Z2 = ⋃_f  π_p̄ ( σ_ψ ( τ_{v1..vm} ( E1 ⋉_{θ=} σ_φ τ_{v1..vm} E2 ) ) )
+
+where ``f`` ranges over all maps from ``unc2(E)`` to
+``constrained2(E) ∪ {arity(E2)+1, ..., arity(E2)+m}`` (the tagged
+constant columns), ``φ`` pins each unconstrained right column to its
+``f``-image, ``ψ`` re-checks the non-equality atoms of θ against the
+reconstructed right tuple, and ``p̄`` re-assembles ``(ā, b̄)`` with
+``g(j)`` choosing the column that witnesses ``b_j``.
+
+Key facts implemented and tested here:
+
+* **Soundness:** ``Z1 ∪ Z2 ⊆ E1 ⋈_θ E2`` on *every* database — each Zi
+  only ever reconstructs genuine joining pairs.
+* **Completeness under the dichotomy hypothesis:** if no database has a
+  joining pair that is doubly free, then ``Z1 ∪ Z2 = E`` (Theorem 18);
+  equality is property-tested for syntactically safe joins, and strict
+  inclusion is demonstrated for the division plan's cross product.
+* The output is SA= and therefore linear.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Sequence
+
+from repro.algebra.ast import (
+    ConstantTag,
+    Difference,
+    Expr,
+    Join,
+    Projection,
+    Rel,
+    Selection,
+    Semijoin,
+    Union,
+    select_gt,
+    select_neq,
+)
+from repro.algebra.conditions import Atom, Condition
+from repro.core.joininfo import JoinInfo
+from repro.data.schema import Schema
+from repro.data.universe import Universe, Value
+from repro.errors import AnalysisError, FragmentError
+from repro.logic.stored_expr import empty_expr, union_all
+
+#: Refuse to enumerate absurdly many tagged values (|C ∪ finite gaps|).
+MAX_TAGGED_VALUES = 64
+
+#: Refuse to enumerate absurdly many mappings f.
+MAX_MAPPINGS = 4096
+
+
+def tagged_values(
+    universe: Universe, constants: Sequence[Value]
+) -> tuple[Value, ...]:
+    """``{v1 < ... < vm} = C ∪ ⋃ finite [c_i, c_i+1]`` (paper, proof of
+    Thm. 18)."""
+    values = sorted(universe.excluded_by_constants(constants))
+    if len(values) > MAX_TAGGED_VALUES:
+        raise AnalysisError(
+            f"{len(values)} values in C ∪ finite intervals exceeds the "
+            f"enumeration budget ({MAX_TAGGED_VALUES}); the constants "
+            "span too wide a discrete range"
+        )
+    return tuple(values)
+
+
+def _tag_all(expr: Expr, values: Sequence[Value]) -> Expr:
+    """``τ_{v1..vm}`` = τ_vm ∘ ... ∘ τ_v1: column arity+l holds v_l."""
+    for value in values:
+        expr = ConstantTag(expr, value)
+    return expr
+
+
+def _apply_comparison(expr: Expr, i: int, op: str, j: int) -> Expr:
+    """``σ_{i α j}`` for α ∈ {=, ≠, <, >} via the core operations."""
+    if op == "=":
+        return Selection(expr, "=", i, j)
+    if op == "<":
+        return Selection(expr, "<", i, j)
+    if op == ">":
+        return select_gt(expr, i, j)
+    if op == "!=":
+        return select_neq(expr, i, j)
+    raise FragmentError(f"unknown comparison {op!r}")
+
+
+def _z_for_safe_right(
+    left: Expr,
+    right: Expr,
+    cond: Condition,
+    values: Sequence[Value],
+    schema: Schema,
+) -> Expr:
+    """The paper's Z2 (free side = right).  Output columns: (ā, b̄)."""
+    info = JoinInfo(left.arity, right.arity, cond)
+    n1, m2 = left.arity, right.arity
+    m = len(values)
+    constrained2 = sorted(info.constrained2())
+    unc2 = sorted(info.unc2())
+
+    targets = constrained2 + [m2 + l for l in range(1, m + 1)]
+    if unc2 and not targets:
+        # No equality atoms and no constants: F2(b̄) = set(b̄) ≠ ∅ for
+        # every b̄, so Z2 is empty.
+        return empty_expr(schema, n1 + m2)
+    if targets and len(targets) ** len(unc2) > MAX_MAPPINGS:
+        raise AnalysisError(
+            f"{len(targets)}^{len(unc2)} mappings exceed the enumeration "
+            f"budget ({MAX_MAPPINGS})"
+        )
+
+    eq_atoms = tuple(Atom(i, "=", j) for i, j in sorted(info.theta_eq()))
+    non_eq = tuple(a for a in cond if a.op != "=")
+
+    branches: list[Expr] = []
+    mappings = product(targets, repeat=len(unc2)) if unc2 else [()]
+    for combo in mappings:
+        f = dict(zip(unc2, combo))
+
+        # σ_φ τ_{v̄} E2 : pin each unconstrained right column.
+        tagged_right = _tag_all(right, values)
+        for j in unc2:
+            tagged_right = Selection(tagged_right, "=", j, f[j])
+
+        # E1 ⋉_{θ=} (σ_φ τ_{v̄} E2), then tag the left side.
+        semi = Semijoin(left, tagged_right, Condition(eq_atoms))
+        tagged_left = _tag_all(semi, values)
+
+        # g(j): the column of the tagged left holding b_j.
+        def g(j: int) -> int:
+            if j in info.constrained2():
+                return min(info.partners_of_right(j))
+            target = f[j]
+            if target in info.constrained2():
+                return min(info.partners_of_right(target))
+            return n1 + (target - m2)  # tagged constant column
+
+        # σ_ψ: re-check the non-equality atoms against g(j).
+        checked: Expr = tagged_left
+        for atom in non_eq:
+            checked = _apply_comparison(checked, atom.i, atom.op, g(atom.j))
+
+        positions = tuple(range(1, n1 + 1)) + tuple(
+            g(j) for j in range(1, m2 + 1)
+        )
+        branches.append(Projection(checked, positions))
+    if not branches:
+        return empty_expr(schema, n1 + m2)
+    return union_all(branches)
+
+
+def compile_join(
+    node: Join,
+    schema: Schema,
+    universe: Universe,
+    constants: Sequence[Value],
+    sides: tuple[int, ...] = (1, 2),
+) -> Expr:
+    """``Z1 ∪ Z2`` for one join node (operands used as-is).
+
+    ``sides`` selects which Z's to include — useful for testing each
+    half in isolation; the theorem uses both.
+    """
+    values = tagged_values(universe, constants)
+    parts: list[Expr] = []
+    if 2 in sides:
+        parts.append(
+            _z_for_safe_right(node.left, node.right, node.cond, values, schema)
+        )
+    if 1 in sides:
+        swapped = _z_for_safe_right(
+            node.right, node.left, node.cond.mirrored(), values, schema
+        )
+        n1, m2 = node.left.arity, node.right.arity
+        # swapped's columns are (b̄, ā); reorder to (ā, b̄).
+        reorder = tuple(range(m2 + 1, m2 + n1 + 1)) + tuple(
+            range(1, m2 + 1)
+        )
+        parts.append(Projection(swapped, reorder))
+    if not parts:
+        raise AnalysisError("sides must include 1 or 2")
+    return union_all(parts)
+
+
+def compile_to_sa(
+    expr: Expr,
+    schema: Schema,
+    universe: Universe,
+    constants: Sequence[Value] | None = None,
+) -> Expr:
+    """Compile an RA expression to SA= by the Theorem 18 rewriting.
+
+    Every join node becomes ``Z1 ∪ Z2``; all other nodes are mapped
+    structurally.  The result is always SA= and always satisfies
+    ``result(D) ⊆ expr(D)``; it equals ``expr`` on every database iff
+    ``expr`` is not quadratic (Theorem 18) — the compiler does not
+    decide that hypothesis, :mod:`repro.core.classify` does.
+
+    ``constants`` defaults to the constants of ``expr`` (the set ``C``
+    of Definition 22).
+    """
+    fixed = tuple(
+        sorted(expr.constants() if constants is None else constants, key=repr)
+    )
+
+    def walk(node: Expr) -> Expr:
+        if isinstance(node, Rel):
+            return node
+        if isinstance(node, Union):
+            return Union(walk(node.left), walk(node.right))
+        if isinstance(node, Difference):
+            return Difference(walk(node.left), walk(node.right))
+        if isinstance(node, Projection):
+            return Projection(walk(node.child), node.positions)
+        if isinstance(node, Selection):
+            return Selection(walk(node.child), node.op, node.i, node.j)
+        if isinstance(node, ConstantTag):
+            return ConstantTag(walk(node.child), node.value)
+        if isinstance(node, Semijoin):
+            if not node.cond.is_equi():
+                raise FragmentError(
+                    "a non-equi semijoin is linear but not expressible "
+                    f"in SA=: {node.cond}"
+                )
+            return Semijoin(walk(node.left), walk(node.right), node.cond)
+        if isinstance(node, Join):
+            compiled = Join(walk(node.left), walk(node.right), node.cond)
+            return compile_join(compiled, schema, universe, fixed)
+        raise FragmentError(f"unknown node {type(node).__name__}")
+
+    return walk(expr)

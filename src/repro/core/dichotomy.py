@@ -1,0 +1,108 @@
+"""One-call orchestration of the dichotomy analysis.
+
+:func:`analyze` runs the full pipeline the paper's results describe:
+
+1. classify the expression (Theorem 17's two sides, via certificates);
+2. if LINEAR: compile to SA= (Theorem 18) and — when sample databases
+   are supplied — check the compilation agrees with the original;
+3. if QUADRATIC: replay the Lemma 24 witness into a growth report over
+   the blow-up family.
+
+The result bundles everything an experiment or a CLI user needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.algebra.ast import Expr, is_sa_eq
+from repro.algebra.evaluator import evaluate
+from repro.core.classify import Classification, Verdict, classify
+from repro.core.compile_sa import compile_to_sa
+from repro.core.growth import GrowthReport, blowup_family, measure_growth
+from repro.data.database import Database
+from repro.data.schema import Schema
+from repro.data.universe import INTEGERS, Universe
+from repro.errors import FragmentError
+
+
+@dataclass(frozen=True)
+class DichotomyReport:
+    """The combined output of :func:`analyze`."""
+
+    expr: Expr
+    classification: Classification
+    compiled_sa: Expr | None
+    compilation_checked_on: int
+    growth: GrowthReport | None
+
+    @property
+    def verdict(self) -> Verdict:
+        return self.classification.verdict
+
+    def summary(self) -> str:
+        from repro.algebra.printer import to_text
+
+        lines = [
+            f"expression : {to_text(self.expr)}",
+            f"verdict    : {self.verdict.value}",
+            f"reason     : {self.classification.reason}",
+        ]
+        if self.compiled_sa is not None:
+            lines.append(
+                f"SA= compilation: {self.compiled_sa.size()} nodes, "
+                f"verified on {self.compilation_checked_on} database(s)"
+            )
+        if self.growth is not None:
+            worst = self.growth.worst()
+            lines.append(
+                f"blow-up growth : exponent {worst.exponent:.2f} on "
+                f"sizes {self.growth.db_sizes}"
+            )
+        return "\n".join(lines)
+
+
+def analyze(
+    expr: Expr,
+    schema: Schema,
+    universe: Universe = INTEGERS,
+    sample_databases: Sequence[Database] = (),
+    growth_ns: Sequence[int] = (2, 4, 8, 16),
+) -> DichotomyReport:
+    """Run classification, compilation and growth measurement."""
+    classification = classify(expr, schema, universe)
+
+    compiled = None
+    checked = 0
+    if classification.verdict is Verdict.LINEAR:
+        try:
+            compiled = compile_to_sa(expr, schema, universe)
+        except FragmentError:
+            compiled = None  # linear but order-semijoin: SA, not SA=
+        if compiled is not None:
+            assert is_sa_eq(compiled)
+            for db in sample_databases:
+                if evaluate(compiled, db) != evaluate(expr, db):
+                    raise AssertionError(
+                        "Theorem 18 compilation disagreed with the "
+                        "original on a sample database — this indicates "
+                        "a bug or a misclassified expression"
+                    )
+                checked += 1
+
+    growth = None
+    if (
+        classification.verdict is Verdict.QUADRATIC
+        and classification.evidence is not None
+    ):
+        family = blowup_family(classification.evidence.witness)
+        growth = measure_growth(expr, family, growth_ns)
+
+    return DichotomyReport(
+        expr=expr,
+        classification=classification,
+        compiled_sa=compiled,
+        compilation_checked_on=checked,
+        growth=growth,
+    )

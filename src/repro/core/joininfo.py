@@ -1,0 +1,87 @@
+"""Join-condition analysis: Definition 20.
+
+For a join ``E = E1 ⋈_θ E2`` and each comparison α, the decomposition
+``θ^α`` is the set of pairs ``(i, j)`` with ``i α j`` a conjunct of θ.
+The equality part determines the *constrained* positions::
+
+    constrained1(E) = { i | ∃j: (i,j) ∈ θ^= }     unc1 = {1..n} − constrained1
+    constrained2(E) = { j | ∃i: (i,j) ∈ θ^= }     unc2 = {1..m} − constrained2
+
+Constrained positions of a joining tuple are recoverable from the other
+side; unconstrained positions are where free values (Definition 22) can
+live, and those drive the Lemma 24 blow-up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algebra.ast import Join, Semijoin
+from repro.algebra.conditions import Condition
+
+
+@dataclass(frozen=True)
+class JoinInfo:
+    """The Definition 20 data of one join node."""
+
+    left_arity: int
+    right_arity: int
+    condition: Condition
+
+    @staticmethod
+    def of(node: "Join | Semijoin") -> "JoinInfo":
+        """Extract the analysis data from a join or semijoin node."""
+        return JoinInfo(
+            left_arity=node.left.arity,
+            right_arity=node.right.arity,
+            condition=node.cond,
+        )
+
+    # -- θ^α ----------------------------------------------------------------
+
+    def theta(self, op: str) -> frozenset[tuple[int, int]]:
+        """``θ^α`` as a set of (left, right) position pairs."""
+        return self.condition.pairs_by_op(op)
+
+    def theta_eq(self) -> frozenset[tuple[int, int]]:
+        return self.theta("=")
+
+    # -- constrained / unconstrained position sets ---------------------------
+
+    def constrained1(self) -> frozenset[int]:
+        """Left positions pinned by some equality atom."""
+        return frozenset(i for i, __ in self.theta_eq())
+
+    def constrained2(self) -> frozenset[int]:
+        """Right positions pinned by some equality atom."""
+        return frozenset(j for __, j in self.theta_eq())
+
+    def unc1(self) -> frozenset[int]:
+        return frozenset(range(1, self.left_arity + 1)) - self.constrained1()
+
+    def unc2(self) -> frozenset[int]:
+        return frozenset(range(1, self.right_arity + 1)) - self.constrained2()
+
+    def constrained(self, side: int) -> frozenset[int]:
+        """``constrained_side`` for side 1 or 2."""
+        if side == 1:
+            return self.constrained1()
+        if side == 2:
+            return self.constrained2()
+        raise ValueError(f"side must be 1 or 2, got {side}")
+
+    def unc(self, side: int) -> frozenset[int]:
+        """``unc_side`` for side 1 or 2."""
+        if side == 1:
+            return self.unc1()
+        if side == 2:
+            return self.unc2()
+        raise ValueError(f"side must be 1 or 2, got {side}")
+
+    def partners_of_right(self, j: int) -> frozenset[int]:
+        """All left positions equated with right position ``j``."""
+        return frozenset(i for i, jj in self.theta_eq() if jj == j)
+
+    def partners_of_left(self, i: int) -> frozenset[int]:
+        """All right positions equated with left position ``i``."""
+        return frozenset(j for ii, j in self.theta_eq() if ii == i)

@@ -1,0 +1,50 @@
+"""Data substrate: universes, schemas, databases, C-stored tuples.
+
+This package implements the basic objects of Section 2 of the paper:
+the totally ordered universe **U**, database schemas, databases with
+their sizes / tuple spaces / guarded sets, and C-stored tuples.
+"""
+
+from repro.data.database import Database, Row, database
+from repro.data.schema import Schema
+from repro.data.stored import (
+    c_stored_tuples,
+    count_c_stored_tuples,
+    is_c_stored,
+    is_c_stored_by_definition,
+    residue,
+)
+from repro.data.universe import (
+    INTEGERS,
+    RATIONALS,
+    STRINGS,
+    IntegerUniverse,
+    RationalUniverse,
+    RoomPlan,
+    StringUniverse,
+    Universe,
+    Value,
+    universe_for,
+)
+
+__all__ = [
+    "Database",
+    "Row",
+    "database",
+    "Schema",
+    "c_stored_tuples",
+    "count_c_stored_tuples",
+    "is_c_stored",
+    "is_c_stored_by_definition",
+    "residue",
+    "INTEGERS",
+    "RATIONALS",
+    "STRINGS",
+    "IntegerUniverse",
+    "RationalUniverse",
+    "RoomPlan",
+    "StringUniverse",
+    "Universe",
+    "Value",
+    "universe_for",
+]

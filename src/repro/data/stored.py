@@ -1,0 +1,97 @@
+"""C-stored tuples (Definition 4 of the paper).
+
+A tuple ``d̄`` is *C-stored* in a database ``D`` if the tuple obtained by
+deleting from ``d̄`` all values in ``C`` belongs to some projection
+``π_{i1,...,ip}(D(R))`` for some relation name ``R``.
+
+Because the projection may reorder and repeat columns, the condition is
+equivalent to: *all non-constant values of* ``d̄`` *occur together in a
+single stored tuple*.  (If the residue is empty, the condition asks for
+the nullary projection ``π()(D(R)) = {()}`` to be nonempty, i.e. for some
+relation to be nonempty.)  Both formulations are implemented; the tests
+check they agree.
+
+SA= expressions with constants in ``C`` can only output C-stored tuples
+— the closure property Theorem 8 relies on — and the GF→SA= translation
+restricts its answers to C-stored tuples.  :func:`c_stored_tuples`
+enumerates them.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Iterable, Iterator
+
+from repro.data.database import Database, Row
+from repro.data.universe import Value
+
+
+def residue(row: Row, constants: Iterable[Value]) -> Row:
+    """``d̄`` with all values in ``C`` deleted, preserving order."""
+    constant_set = frozenset(constants)
+    return tuple(v for v in row if v not in constant_set)
+
+
+def is_c_stored(row: Row, db: Database, constants: Iterable[Value]) -> bool:
+    """Whether ``row`` is C-stored in ``db`` (Definition 4)."""
+    rest = residue(row, constants)
+    if not rest:
+        # The empty residue is a projection of any *nonempty* relation.
+        return any(db[name] for name in db.schema)
+    needed = set(rest)
+    return any(needed <= set(stored) for stored in db.tuple_space())
+
+
+def is_c_stored_by_definition(
+    row: Row, db: Database, constants: Iterable[Value]
+) -> bool:
+    """Literal transcription of Definition 4 (used as a test oracle).
+
+    Checks whether the residue equals ``(t[i1-1], ..., t[ip-1])`` for
+    some stored tuple ``t`` and some sequence of 1-based positions.
+    Exponential in the residue length; intended for small inputs only.
+    """
+    rest = residue(row, constants)
+    if not rest:
+        return any(db[name] for name in db.schema)
+    for name in db.schema:
+        arity = db.schema[name]
+        for stored in db[name]:
+            for positions in product(range(arity), repeat=len(rest)):
+                if all(stored[i] == v for i, v in zip(positions, rest)):
+                    return True
+    return False
+
+
+def c_stored_tuples(
+    db: Database, constants: Iterable[Value], arity: int
+) -> Iterator[Row]:
+    """All C-stored tuples of a given arity, without duplicates.
+
+    Every position of a C-stored tuple holds either a constant or a
+    value from a single stored tuple, so the candidates are
+    ``(set(t) ∪ C)^arity`` for each stored tuple ``t`` — with the
+    all-constant candidates allowed whenever some relation is nonempty.
+
+    The number of results is ``O(|T_D| · (w + |C|)^arity)`` where ``w``
+    is the maximum relation arity; callers should keep ``arity`` small.
+    """
+    constant_tuple = tuple(sorted(set(constants)))
+    seen: set[Row] = set()
+    if arity == 0:
+        if any(db[name] for name in db.schema):
+            yield ()
+        return
+    for stored in db.tuple_space():
+        pool = tuple(sorted(set(stored))) + constant_tuple
+        for candidate in product(pool, repeat=arity):
+            if candidate not in seen:
+                seen.add(candidate)
+                yield candidate
+
+
+def count_c_stored_tuples(
+    db: Database, constants: Iterable[Value], arity: int
+) -> int:
+    """The number of C-stored tuples of the given arity."""
+    return sum(1 for _ in c_stored_tuples(db, constants, arity))

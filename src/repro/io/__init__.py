@@ -1,0 +1,18 @@
+"""Database serialization: exact JSON and convenient CSV."""
+
+from repro.io.csv_io import load_database_csv, save_database_csv
+from repro.io.json_io import (
+    database_from_json,
+    database_to_json,
+    load_database,
+    save_database,
+)
+
+__all__ = [
+    "load_database_csv",
+    "save_database_csv",
+    "database_from_json",
+    "database_to_json",
+    "load_database",
+    "save_database",
+]

@@ -1,0 +1,65 @@
+"""CSV directory serialization of databases.
+
+A database maps to a directory with one headerless CSV file per
+relation (``R.csv``, ``S.csv``, ...).  Values are written as text;
+loading needs the schema and a per-column type hint (default: try int,
+fall back to str), so CSV is the lossy-but-convenient format and JSON
+(:mod:`repro.io.json_io`) the exact one.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Callable
+
+from repro.data.database import Database
+from repro.data.schema import Schema
+from repro.data.universe import Value
+from repro.errors import SchemaError
+
+
+def _default_parser(text: str) -> Value:
+    try:
+        return int(text)
+    except ValueError:
+        return text
+
+
+def save_database_csv(db: Database, directory: "str | Path") -> None:
+    """Write one ``<relation>.csv`` per relation into ``directory``."""
+    root = Path(directory)
+    root.mkdir(parents=True, exist_ok=True)
+    for name in db.schema:
+        with open(root / f"{name}.csv", "w", newline="", encoding="utf-8") as handle:
+            writer = csv.writer(handle)
+            for row in sorted(db[name], key=repr):
+                writer.writerow([str(v) for v in row])
+
+
+def load_database_csv(
+    schema: Schema,
+    directory: "str | Path",
+    parser: Callable[[str], Value] = _default_parser,
+) -> Database:
+    """Read ``<relation>.csv`` files for every schema relation.
+
+    Missing files mean empty relations; extra files are ignored.
+    """
+    root = Path(directory)
+    if not root.is_dir():
+        raise SchemaError(f"{root} is not a directory")
+    relations: dict[str, list[tuple[Value, ...]]] = {}
+    for name in schema:
+        path = root / f"{name}.csv"
+        if not path.exists():
+            relations[name] = []
+            continue
+        rows: list[tuple[Value, ...]] = []
+        with open(path, newline="", encoding="utf-8") as handle:
+            for record in csv.reader(handle):
+                if not record:
+                    continue
+                rows.append(tuple(parser(field) for field in record))
+        relations[name] = rows
+    return Database(schema, relations)

@@ -1,0 +1,94 @@
+"""JSON serialization of databases.
+
+Format::
+
+    {
+      "schema": {"R": 2, "S": 1},
+      "relations": {
+        "R": [[1, 2], [1, 3]],
+        "S": [["x"]]
+      }
+    }
+
+Values are JSON numbers or strings; fractions are encoded as
+``{"fraction": [numerator, denominator]}`` so the blow-up construction's
+databases round-trip exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from fractions import Fraction
+from pathlib import Path
+
+from repro.data.database import Database
+from repro.data.schema import Schema
+from repro.data.universe import Value
+from repro.errors import SchemaError
+
+
+def _encode_value(value: Value):
+    if isinstance(value, Fraction):
+        return {"fraction": [value.numerator, value.denominator]}
+    if isinstance(value, bool):
+        raise SchemaError("bool is not a database value")
+    if isinstance(value, (int, str)):
+        return value
+    raise SchemaError(f"cannot serialize value {value!r}")
+
+
+def _decode_value(raw) -> Value:
+    if isinstance(raw, dict):
+        if set(raw) != {"fraction"} or len(raw["fraction"]) != 2:
+            raise SchemaError(f"bad value encoding: {raw!r}")
+        numerator, denominator = raw["fraction"]
+        return Fraction(numerator, denominator)
+    if isinstance(raw, bool) or isinstance(raw, float):
+        raise SchemaError(f"unsupported JSON value: {raw!r}")
+    if isinstance(raw, (int, str)):
+        return raw
+    raise SchemaError(f"unsupported JSON value: {raw!r}")
+
+
+def database_to_json(db: Database) -> str:
+    """Serialize a database to a JSON string (deterministic order)."""
+    payload = {
+        "schema": {name: db.schema[name] for name in db.schema},
+        "relations": {
+            name: [
+                [_encode_value(v) for v in row]
+                for row in sorted(db[name], key=repr)
+            ]
+            for name in db.schema
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def database_from_json(text: str) -> Database:
+    """Parse a database from its JSON form."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SchemaError(f"invalid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or "schema" not in payload:
+        raise SchemaError("JSON database needs a 'schema' object")
+    schema = Schema(payload["schema"])
+    relations = {
+        name: [
+            tuple(_decode_value(v) for v in row)
+            for row in rows
+        ]
+        for name, rows in payload.get("relations", {}).items()
+    }
+    return Database(schema, relations)
+
+
+def save_database(db: Database, path: "str | Path") -> None:
+    """Write a database to a JSON file."""
+    Path(path).write_text(database_to_json(db), encoding="utf-8")
+
+
+def load_database(path: "str | Path") -> Database:
+    """Read a database from a JSON file."""
+    return database_from_json(Path(path).read_text(encoding="utf-8"))

@@ -1,0 +1,68 @@
+"""The guarded fragment GF and the Theorem 8 translations SA= ↔ GF."""
+
+from repro.logic.ast import (
+    And,
+    Compare,
+    Const,
+    Formula,
+    GuardedExists,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    RelAtom,
+    Term,
+    Var,
+    atom,
+    desugar,
+    eq,
+    exists,
+    lt,
+    substitute,
+    term,
+)
+from repro.logic.eval import answers, answers_c_stored, satisfies
+from repro.logic.gf_to_sa import gf_to_sa
+from repro.logic.parser import parse_formula
+from repro.logic.printer import formula_to_text
+from repro.logic.sa_to_gf import canonical_vars, sa_to_gf
+from repro.logic.stored_expr import (
+    c_stored_expr,
+    empty_expr,
+    nonempty_witness_expr,
+    union_all,
+)
+
+__all__ = [
+    "And",
+    "Compare",
+    "Const",
+    "Formula",
+    "GuardedExists",
+    "Iff",
+    "Implies",
+    "Not",
+    "Or",
+    "RelAtom",
+    "Term",
+    "Var",
+    "atom",
+    "desugar",
+    "eq",
+    "exists",
+    "lt",
+    "substitute",
+    "term",
+    "answers",
+    "answers_c_stored",
+    "satisfies",
+    "gf_to_sa",
+    "parse_formula",
+    "formula_to_text",
+    "canonical_vars",
+    "sa_to_gf",
+    "c_stored_expr",
+    "empty_expr",
+    "nonempty_witness_expr",
+    "union_all",
+]

@@ -1,0 +1,395 @@
+"""The guarded fragment GF of first-order logic (Definition 6).
+
+Syntax implemented:
+
+1. atomic formulas ``x = y``, ``x < y``, ``x = c`` (and, symmetrically,
+   comparisons between any two terms, where a term is a variable or a
+   constant);
+2. relation atoms ``R(t1, ..., tk)``;
+3. boolean connectives ``¬ ∨ ∧ → ↔``;
+4. guarded quantification ``∃ȳ (α(x̄, ȳ) ∧ φ(x̄, ȳ))`` where the guard α
+   is a relation atom containing **all** free variables of φ.
+
+The paper notes that its results extend the original constant-free
+setting "with constants"; accordingly, relation atoms and comparisons
+may contain constant terms (an "easy adaptation" the paper appeals to).
+Guardedness only constrains *variables*, so this extension is
+conservative.
+
+Every constructor validates its guardedness/shape constraints eagerly:
+a :class:`Formula` that exists is a well-formed GF formula.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+from repro.data.universe import Value
+from repro.errors import FragmentError, SchemaError
+
+# ----------------------------------------------------------------------
+# Terms
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Term:
+    """A term: either a variable or a constant."""
+
+
+@dataclass(frozen=True)
+class Var(Term):
+    """A first-order variable."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise SchemaError(f"variable name must be nonempty, got {self.name!r}")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Const(Term):
+    """A constant value from the universe."""
+
+    value: Value
+
+    def __post_init__(self) -> None:
+        if isinstance(self.value, bool):
+            raise SchemaError("bool is not a constant value")
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            return f"'{self.value}'"
+        return str(self.value)
+
+
+def term(value: "Term | Value | str") -> Term:
+    """Coerce a Python value into a term.
+
+    Strings are variables; wrap literals in :class:`Const` explicitly
+    (string constants cannot be guessed from a bare ``str``).
+    """
+    if isinstance(value, Term):
+        return value
+    if isinstance(value, str):
+        return Var(value)
+    return Const(value)
+
+
+# ----------------------------------------------------------------------
+# Formulas
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Formula:
+    """Base class of GF formulas."""
+
+    def free_variables(self) -> frozenset[str]:
+        raise NotImplementedError
+
+    def constants(self) -> frozenset[Value]:
+        raise NotImplementedError
+
+    def children(self) -> tuple["Formula", ...]:
+        raise NotImplementedError
+
+    def subformulas(self) -> Iterator["Formula"]:
+        for child in self.children():
+            yield from child.subformulas()
+        yield self
+
+    def size(self) -> int:
+        return 1 + sum(child.size() for child in self.children())
+
+    # -- combinators ---------------------------------------------------
+
+    def __and__(self, other: "Formula") -> "And":
+        return And(self, other)
+
+    def __or__(self, other: "Formula") -> "Or":
+        return Or(self, other)
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+    def implies(self, other: "Formula") -> "Implies":
+        return Implies(self, other)
+
+    def iff(self, other: "Formula") -> "Iff":
+        return Iff(self, other)
+
+    def __str__(self) -> str:
+        from repro.logic.printer import formula_to_text
+
+        return formula_to_text(self)
+
+
+def _terms_free(terms: tuple[Term, ...]) -> frozenset[str]:
+    return frozenset(t.name for t in terms if isinstance(t, Var))
+
+
+def _terms_constants(terms: tuple[Term, ...]) -> frozenset[Value]:
+    return frozenset(t.value for t in terms if isinstance(t, Const))
+
+
+@dataclass(frozen=True)
+class RelAtom(Formula):
+    """``R(t1, ..., tk)`` — also usable as a guard."""
+
+    name: str
+    terms: tuple[Term, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "terms", tuple(term(t) for t in self.terms))
+        if not self.name:
+            raise SchemaError("relation name must be nonempty")
+        if not self.terms:
+            raise SchemaError("relation atoms must have arity >= 1")
+
+    @property
+    def arity(self) -> int:
+        return len(self.terms)
+
+    def free_variables(self) -> frozenset[str]:
+        return _terms_free(self.terms)
+
+    def constants(self) -> frozenset[Value]:
+        return _terms_constants(self.terms)
+
+    def children(self) -> tuple[Formula, ...]:
+        return ()
+
+
+@dataclass(frozen=True)
+class Compare(Formula):
+    """``t1 = t2`` or ``t1 < t2`` (atomic formulas of Definition 6)."""
+
+    op: str
+    left: Term
+    right: Term
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "left", term(self.left))
+        object.__setattr__(self, "right", term(self.right))
+        if self.op not in ("=", "<"):
+            raise FragmentError(
+                f"GF atomic comparisons are '=' and '<', got {self.op!r}"
+            )
+
+    def free_variables(self) -> frozenset[str]:
+        return _terms_free((self.left, self.right))
+
+    def constants(self) -> frozenset[Value]:
+        return _terms_constants((self.left, self.right))
+
+    def children(self) -> tuple[Formula, ...]:
+        return ()
+
+
+def eq(left: "Term | Value | str", right: "Term | Value | str") -> Compare:
+    """``left = right``."""
+    return Compare("=", term(left), term(right))
+
+
+def lt(left: "Term | Value | str", right: "Term | Value | str") -> Compare:
+    """``left < right``."""
+    return Compare("<", term(left), term(right))
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    body: Formula
+
+    def free_variables(self) -> frozenset[str]:
+        return self.body.free_variables()
+
+    def constants(self) -> frozenset[Value]:
+        return self.body.constants()
+
+    def children(self) -> tuple[Formula, ...]:
+        return (self.body,)
+
+
+@dataclass(frozen=True)
+class _Binary(Formula):
+    left: Formula
+    right: Formula
+
+    def free_variables(self) -> frozenset[str]:
+        return self.left.free_variables() | self.right.free_variables()
+
+    def constants(self) -> frozenset[Value]:
+        return self.left.constants() | self.right.constants()
+
+    def children(self) -> tuple[Formula, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class And(_Binary):
+    pass
+
+
+@dataclass(frozen=True)
+class Or(_Binary):
+    pass
+
+
+@dataclass(frozen=True)
+class Implies(_Binary):
+    pass
+
+
+@dataclass(frozen=True)
+class Iff(_Binary):
+    pass
+
+
+@dataclass(frozen=True)
+class GuardedExists(Formula):
+    """``∃ȳ (α(x̄, ȳ) ∧ φ(x̄, ȳ))`` with α a relation atom.
+
+    Guardedness (Definition 6, item 4): every free variable of the body
+    φ must occur in the guard α.  We additionally require every bound
+    variable to occur in the guard (a vacuous quantifier over an
+    unguarded variable has no range in the guarded semantics).
+    """
+
+    bound: tuple[str, ...]
+    guard: RelAtom
+    body: Formula
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "bound", tuple(self.bound))
+        if not isinstance(self.guard, RelAtom):
+            raise FragmentError("the guard must be a relation atom")
+        if len(set(self.bound)) != len(self.bound):
+            raise FragmentError(f"repeated bound variables: {self.bound}")
+        guard_vars = self.guard.free_variables()
+        missing_bound = set(self.bound) - guard_vars
+        if missing_bound:
+            raise FragmentError(
+                f"bound variables {sorted(missing_bound)} do not occur "
+                "in the guard"
+            )
+        unguarded = self.body.free_variables() - guard_vars
+        if unguarded:
+            raise FragmentError(
+                f"free variables {sorted(unguarded)} of the body do not "
+                "occur in the guard — the formula is not guarded"
+            )
+
+    def free_variables(self) -> frozenset[str]:
+        all_vars = self.guard.free_variables() | self.body.free_variables()
+        return all_vars - set(self.bound)
+
+    def constants(self) -> frozenset[Value]:
+        return self.guard.constants() | self.body.constants()
+
+    def children(self) -> tuple[Formula, ...]:
+        return (self.guard, self.body)
+
+
+def exists(
+    bound: "str | tuple[str, ...] | list[str]",
+    guard: RelAtom,
+    body: Formula | None = None,
+) -> GuardedExists:
+    """Convenience constructor; ``body`` defaults to TRUE-like guard-only.
+
+    ``exists("y", Visits("x", "y"), φ)`` builds
+    ``∃y (Visits(x, y) ∧ φ)``.  When ``body`` is omitted the body is the
+    trivially true formula ``y = y`` over the first bound variable (the
+    standard encoding of a bare guarded ∃).
+    """
+    names = (bound,) if isinstance(bound, str) else tuple(bound)
+    if body is None:
+        anchor = names[0] if names else next(iter(guard.free_variables()))
+        body = eq(Var(anchor), Var(anchor))
+    return GuardedExists(names, guard, body)
+
+
+def atom(name: str, *terms_: "Term | Value | str") -> RelAtom:
+    """``atom("R", "x", Const(5), "y")`` builds ``R(x, 5, y)``."""
+    return RelAtom(name, tuple(term(t) for t in terms_))
+
+
+# ----------------------------------------------------------------------
+# Substitution and desugaring
+# ----------------------------------------------------------------------
+
+
+def substitute(formula: Formula, mapping: Mapping[str, Term]) -> Formula:
+    """Simultaneously substitute terms for free variables.
+
+    Bound variables shadow the mapping.  Raises
+    :class:`~repro.errors.FragmentError` on variable capture (a
+    substituted-in variable that would be bound by an inner quantifier);
+    the Theorem 8 translation avoids capture by using globally fresh
+    bound names.
+    """
+    if isinstance(formula, RelAtom):
+        return RelAtom(
+            formula.name, tuple(_subst_term(t, mapping) for t in formula.terms)
+        )
+    if isinstance(formula, Compare):
+        return Compare(
+            formula.op,
+            _subst_term(formula.left, mapping),
+            _subst_term(formula.right, mapping),
+        )
+    if isinstance(formula, Not):
+        return Not(substitute(formula.body, mapping))
+    if isinstance(formula, (And, Or, Implies, Iff)):
+        return type(formula)(
+            substitute(formula.left, mapping),
+            substitute(formula.right, mapping),
+        )
+    if isinstance(formula, GuardedExists):
+        inner = {k: v for k, v in mapping.items() if k not in formula.bound}
+        for target in inner.values():
+            if isinstance(target, Var) and target.name in formula.bound:
+                raise FragmentError(
+                    f"substitution would capture variable {target.name!r}"
+                )
+        return GuardedExists(
+            formula.bound,
+            substitute(formula.guard, inner),  # type: ignore[arg-type]
+            substitute(formula.body, inner),
+        )
+    raise SchemaError(f"unknown formula node: {type(formula).__name__}")
+
+
+def _subst_term(t: Term, mapping: Mapping[str, Term]) -> Term:
+    if isinstance(t, Var) and t.name in mapping:
+        return mapping[t.name]
+    return t
+
+
+def desugar(formula: Formula) -> Formula:
+    """Rewrite ``→`` and ``↔`` into ``¬ ∨ ∧`` (used by the translation)."""
+    if isinstance(formula, (RelAtom, Compare)):
+        return formula
+    if isinstance(formula, Not):
+        return Not(desugar(formula.body))
+    if isinstance(formula, And):
+        return And(desugar(formula.left), desugar(formula.right))
+    if isinstance(formula, Or):
+        return Or(desugar(formula.left), desugar(formula.right))
+    if isinstance(formula, Implies):
+        return Or(Not(desugar(formula.left)), desugar(formula.right))
+    if isinstance(formula, Iff):
+        left = desugar(formula.left)
+        right = desugar(formula.right)
+        return And(Or(Not(left), right), Or(Not(right), left))
+    if isinstance(formula, GuardedExists):
+        return GuardedExists(
+            formula.bound, formula.guard, desugar(formula.body)
+        )
+    raise SchemaError(f"unknown formula node: {type(formula).__name__}")

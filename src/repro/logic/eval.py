@@ -1,0 +1,172 @@
+"""Model checking for the guarded fragment.
+
+Because every quantifier in GF is guarded by a relation atom, quantified
+variables only ever range over values of stored tuples — satisfaction of
+a formula under a *given* assignment needs no domain parameter at all.
+For answering open formulas, :func:`answers` enumerates assignments over
+the active domain plus the constant set (sufficient for Theorem 8
+direction 1, whose satisfying tuples always lie in that set), and
+:func:`answers_c_stored` enumerates only C-stored tuples, matching the
+output convention of the GF→SA= translation.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Iterable, Mapping, Sequence
+
+from repro.data.database import Database, Row
+from repro.data.stored import c_stored_tuples
+from repro.data.universe import Value
+from repro.errors import FragmentError, SchemaError
+from repro.logic.ast import (
+    And,
+    Compare,
+    Const,
+    Formula,
+    GuardedExists,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    RelAtom,
+    Term,
+    Var,
+)
+
+Assignment = Mapping[str, Value]
+
+
+def _resolve(t: Term, assignment: Assignment) -> Value:
+    if isinstance(t, Const):
+        return t.value
+    if isinstance(t, Var):
+        try:
+            return assignment[t.name]
+        except KeyError:
+            raise FragmentError(
+                f"unassigned free variable {t.name!r}"
+            ) from None
+    raise SchemaError(f"unknown term: {t!r}")
+
+
+def satisfies(db: Database, formula: Formula, assignment: Assignment) -> bool:
+    """Whether ``db ⊨ formula[assignment]``.
+
+    ``assignment`` must cover all free variables of the formula.
+    """
+    if isinstance(formula, RelAtom):
+        row = tuple(_resolve(t, assignment) for t in formula.terms)
+        return row in db[formula.name]
+    if isinstance(formula, Compare):
+        left = _resolve(formula.left, assignment)
+        right = _resolve(formula.right, assignment)
+        return left == right if formula.op == "=" else left < right
+    if isinstance(formula, Not):
+        return not satisfies(db, formula.body, assignment)
+    if isinstance(formula, And):
+        return satisfies(db, formula.left, assignment) and satisfies(
+            db, formula.right, assignment
+        )
+    if isinstance(formula, Or):
+        return satisfies(db, formula.left, assignment) or satisfies(
+            db, formula.right, assignment
+        )
+    if isinstance(formula, Implies):
+        return not satisfies(db, formula.left, assignment) or satisfies(
+            db, formula.right, assignment
+        )
+    if isinstance(formula, Iff):
+        return satisfies(db, formula.left, assignment) == satisfies(
+            db, formula.right, assignment
+        )
+    if isinstance(formula, GuardedExists):
+        return any(
+            satisfies(db, formula.body, extended)
+            for extended in _guard_matches(db, formula, assignment)
+        )
+    raise SchemaError(f"unknown formula node: {type(formula).__name__}")
+
+
+def _guard_matches(
+    db: Database, formula: GuardedExists, assignment: Assignment
+):
+    """All extensions of ``assignment`` matching the guard atom.
+
+    The quantifier rebinds its bound variables (shadowing any outer
+    assignment); free variables of the guard must agree with the current
+    assignment; repeated bound variables must match consistently within
+    one stored tuple.
+    """
+    guard = formula.guard
+    bound = set(formula.bound)
+    for row in db[guard.name]:
+        extended = dict(assignment)
+        for name in formula.bound:
+            extended.pop(name, None)
+        ok = True
+        for t, value in zip(guard.terms, row):
+            if isinstance(t, Const):
+                if t.value != value:
+                    ok = False
+                    break
+                continue
+            name = t.name
+            if name in extended:
+                if extended[name] != value:
+                    ok = False
+                    break
+            elif name in bound:
+                extended[name] = value
+            else:
+                raise FragmentError(
+                    f"unassigned free variable {name!r} in guard"
+                )
+        if ok:
+            yield extended
+
+
+def answers(
+    db: Database,
+    formula: Formula,
+    var_order: Sequence[str],
+    constants: Iterable[Value] = (),
+) -> frozenset[Row]:
+    """All satisfying assignments over ``adom(D) ∪ constants``.
+
+    This is the brute-force notion of "the answers of an open formula";
+    by guardedness it is a superset of every satisfying tuple whose
+    values appear in the database or in ``constants``.
+    """
+    missing = formula.free_variables() - set(var_order)
+    if missing:
+        raise FragmentError(
+            f"var_order misses free variables {sorted(missing)}"
+        )
+    domain = sorted(db.active_domain() | set(constants))
+    found: set[Row] = set()
+    for values in product(domain, repeat=len(var_order)):
+        assignment = dict(zip(var_order, values))
+        if satisfies(db, formula, assignment):
+            found.add(tuple(values))
+    return frozenset(found)
+
+
+def answers_c_stored(
+    db: Database,
+    formula: Formula,
+    var_order: Sequence[str],
+    constants: Iterable[Value] = (),
+) -> frozenset[Row]:
+    """``{d̄ C-stored in D : D ⊨ φ(d̄)}`` — Theorem 8's output convention."""
+    missing = formula.free_variables() - set(var_order)
+    if missing:
+        raise FragmentError(
+            f"var_order misses free variables {sorted(missing)}"
+        )
+    found: set[Row] = set()
+    for row in c_stored_tuples(db, constants, len(var_order)):
+        assignment = dict(zip(var_order, row))
+        if satisfies(db, formula, assignment):
+            found.add(row)
+    return frozenset(found)

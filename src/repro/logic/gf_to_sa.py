@@ -1,0 +1,287 @@
+"""Theorem 8, direction 2: GF → SA=.
+
+For every GF formula ``φ(x1, ..., xk)`` with constants in ``C``, produce
+an SA= expression ``E_φ`` such that for every database ``D``::
+
+    E_φ(D)  =  { d̄ C-stored in D | D ⊨ φ(d̄) }.
+
+The construction is compositional over the *sorted free-variable tuple*
+of each subformula:
+
+* atoms translate to selections over the relation / the C-stored
+  universal relation (:mod:`repro.logic.stored_expr`);
+* ``¬φ`` complements against the C-stored universal relation;
+* ``φ ∧ ψ`` / ``φ ∨ ψ`` first *expand* both operands to the union of
+  their free variables by semijoin-filtering the C-stored universal
+  relation, then intersect (two semijoin filters) / union;
+* ``∃ȳ (α ∧ φ)`` — the guarded quantifier, and the reason GF fits inside
+  SA=: the guard α provides the relation to filter, so the body becomes
+  a *semijoin* of the guard's translation by φ's translation, followed
+  by a projection that discards the bound variables.
+
+Implication and equivalence are desugared first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.algebra.ast import (
+    Difference,
+    Expr,
+    Projection,
+    Rel,
+    Selection,
+    Semijoin,
+    Union,
+    select_eq_const,
+    select_gt_const,
+    select_lt_const,
+)
+from repro.algebra.conditions import Atom, Condition
+from repro.data.schema import Schema
+from repro.data.universe import Value
+from repro.errors import FragmentError, SchemaError
+from repro.logic.ast import (
+    And,
+    Compare,
+    Const,
+    Formula,
+    GuardedExists,
+    Not,
+    Or,
+    RelAtom,
+    Var,
+    desugar,
+)
+from repro.logic.stored_expr import c_stored_expr, empty_expr
+
+
+@dataclass(frozen=True)
+class _Translated:
+    """An SA= expression together with its column-to-variable mapping."""
+
+    expr: Expr
+    variables: tuple[str, ...]  # column i holds variables[i-1]
+
+
+@dataclass
+class _Translator:
+    schema: Schema
+    constants: tuple[Value, ...]
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def universal(self, variables: tuple[str, ...]) -> _Translated:
+        """All C-stored tuples over the given variable tuple."""
+        return _Translated(
+            c_stored_expr(self.schema, self.constants, len(variables)),
+            variables,
+        )
+
+    def filter_by(self, outer: _Translated, inner: _Translated) -> _Translated:
+        """Keep outer rows whose inner-variable projection is in inner.
+
+        ``inner.variables ⊆ outer.variables`` is required.  The filter is
+        a single equi-semijoin matching each inner column against the
+        outer column holding the same variable — set containment of the
+        projection then coincides with "some inner row matches".
+        """
+        positions = {name: i + 1 for i, name in enumerate(outer.variables)}
+        missing = set(inner.variables) - set(outer.variables)
+        if missing:
+            raise FragmentError(
+                f"cannot filter: variables {sorted(missing)} not in outer"
+            )
+        atoms = tuple(
+            Atom(positions[name], "=", j + 1)
+            for j, name in enumerate(inner.variables)
+        )
+        return _Translated(
+            Semijoin(outer.expr, inner.expr, Condition(atoms)),
+            outer.variables,
+        )
+
+    def expand(
+        self, translated: _Translated, variables: tuple[str, ...]
+    ) -> _Translated:
+        """Re-express over a superset variable tuple (C-stored padding)."""
+        if translated.variables == variables:
+            return translated
+        return self.filter_by(self.universal(variables), translated)
+
+    def project_to(
+        self, translated: _Translated, variables: tuple[str, ...]
+    ) -> _Translated:
+        """Project/permute onto a subset (or reordering) of the variables."""
+        positions = {
+            name: i + 1 for i, name in enumerate(translated.variables)
+        }
+        try:
+            wanted = tuple(positions[name] for name in variables)
+        except KeyError as exc:
+            raise FragmentError(
+                f"variable {exc.args[0]!r} not present"
+            ) from None
+        return _Translated(
+            Projection(translated.expr, wanted), variables
+        )
+
+    # ------------------------------------------------------------------
+    # Translation proper
+    # ------------------------------------------------------------------
+
+    def translate(self, formula: Formula) -> _Translated:
+        """Translate onto the sorted free-variable tuple of ``formula``."""
+        variables = tuple(sorted(formula.free_variables()))
+        if isinstance(formula, RelAtom):
+            return self._translate_atom(formula, variables)
+        if isinstance(formula, Compare):
+            return self._translate_compare(formula, variables)
+        if isinstance(formula, Not):
+            inner = self.expand(self.translate(formula.body), variables)
+            return _Translated(
+                Difference(self.universal(variables).expr, inner.expr),
+                variables,
+            )
+        if isinstance(formula, And):
+            left = self.translate(formula.left)
+            right = self.translate(formula.right)
+            base = self.universal(variables)
+            return self.filter_by(self.filter_by(base, left), right)
+        if isinstance(formula, Or):
+            left = self.expand(self.translate(formula.left), variables)
+            right = self.expand(self.translate(formula.right), variables)
+            return _Translated(Union(left.expr, right.expr), variables)
+        if isinstance(formula, GuardedExists):
+            return self._translate_exists(formula, variables)
+        raise FragmentError(
+            f"desugar implications first: {type(formula).__name__}"
+        )
+
+    def _translate_atom(
+        self, formula: RelAtom, variables: tuple[str, ...]
+    ) -> _Translated:
+        if formula.name not in self.schema:
+            raise SchemaError(f"unknown relation {formula.name!r}")
+        declared = self.schema[formula.name]
+        if declared != formula.arity:
+            raise SchemaError(
+                f"atom {formula.name!r} has arity {formula.arity}, "
+                f"schema declares {declared}"
+            )
+        expr: Expr = Rel(formula.name, declared)
+        first_position: dict[str, int] = {}
+        for position, t in enumerate(formula.terms, start=1):
+            if isinstance(t, Const):
+                expr = select_eq_const(expr, position, t.value)
+            else:
+                if t.name in first_position:
+                    expr = Selection(
+                        expr, "=", first_position[t.name], position
+                    )
+                else:
+                    first_position[t.name] = position
+        wanted = tuple(first_position[name] for name in variables)
+        return _Translated(Projection(expr, wanted), variables)
+
+    def _translate_compare(
+        self, formula: Compare, variables: tuple[str, ...]
+    ) -> _Translated:
+        left, right = formula.left, formula.right
+        # Constant/constant: truth value over the empty variable tuple.
+        if isinstance(left, Const) and isinstance(right, Const):
+            holds = (
+                left.value == right.value
+                if formula.op == "="
+                else left.value < right.value
+            )
+            if holds:
+                return self.universal(())
+            return _Translated(empty_expr(self.schema, 0), ())
+        base = self.universal(variables)
+        if isinstance(left, Var) and isinstance(right, Var):
+            if left.name == right.name:
+                if formula.op == "=":
+                    return base  # x = x
+                return _Translated(  # x < x is unsatisfiable
+                    empty_expr(self.schema, 1), variables
+                )
+            position = {name: i + 1 for i, name in enumerate(variables)}
+            i, j = position[left.name], position[right.name]
+            if formula.op == "=":
+                return _Translated(Selection(base.expr, "=", i, j), variables)
+            return _Translated(Selection(base.expr, "<", i, j), variables)
+        # Variable vs constant (either orientation).
+        if isinstance(left, Var):
+            var_name, const_value, const_on_right = left.name, right.value, True  # type: ignore[union-attr]
+        else:
+            var_name, const_value, const_on_right = right.name, left.value, False  # type: ignore[union-attr]
+        position = {name: i + 1 for i, name in enumerate(variables)}[var_name]
+        if formula.op == "=":
+            expr = select_eq_const(base.expr, position, const_value)
+        elif const_on_right:
+            expr = select_lt_const(base.expr, position, const_value)
+        else:  # c < x
+            expr = select_gt_const(base.expr, position, const_value)
+        return _Translated(expr, variables)
+
+    def _translate_exists(
+        self, formula: GuardedExists, variables: tuple[str, ...]
+    ) -> _Translated:
+        guard = self.translate(formula.guard)
+        body = self.translate(formula.body)
+        # filter_by degrades gracefully for a nullary body: the empty
+        # equi-condition keeps guard rows iff the body (a truth value,
+        # {()} or {}) is nonempty — exactly the guarded semantics.
+        filtered = self.filter_by(guard, body)
+        return self.project_to(filtered, variables)
+
+
+def gf_to_sa(
+    formula: Formula,
+    schema: Schema,
+    constants: Sequence[Value] = (),
+    var_order: Sequence[str] | None = None,
+) -> Expr:
+    """Translate a GF formula into an SA= expression (Theorem 8, dir. 2).
+
+    Parameters
+    ----------
+    formula:
+        The GF formula.  Implications/equivalences are desugared.
+    schema:
+        The database schema the formula speaks about.
+    constants:
+        The constant set ``C``; must contain every constant of the
+        formula.  The output is the set of C-stored satisfying tuples.
+    var_order:
+        Column order of the result (defaults to the sorted free
+        variables).  May be a superset of the free variables, in which
+        case the extra columns range over all C-stored completions.
+    """
+    constant_pool = tuple(sorted(set(constants), key=repr))
+    missing = formula.constants() - set(constant_pool)
+    if missing:
+        raise FragmentError(
+            f"formula constants {sorted(missing, key=repr)} not in C"
+        )
+    translator = _Translator(schema=schema, constants=constant_pool)
+    desugared = desugar(formula)
+    translated = translator.translate(desugared)
+    if var_order is None:
+        var_order = tuple(sorted(formula.free_variables()))
+    else:
+        var_order = tuple(var_order)
+        unknown = formula.free_variables() - set(var_order)
+        if unknown:
+            raise FragmentError(
+                f"var_order misses free variables {sorted(unknown)}"
+            )
+    # Expand to the full variable tuple, then order the columns.
+    sorted_order = tuple(sorted(var_order))
+    expanded = translator.expand(translated, sorted_order)
+    return translator.project_to(expanded, var_order).expr

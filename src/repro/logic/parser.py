@@ -1,0 +1,259 @@
+"""Parser for the textual GF formula syntax.
+
+Grammar (whitespace-insensitive)::
+
+    formula  := iff
+    iff      := implies (("<->" | "↔" | "iff") implies)*
+    implies  := or (("->" | "→" | "implies") or)*        -- right assoc
+    or       := and (("or" | "∨" | "|") and)*
+    and      := unary (("and" | "∧" | "&") unary)*
+    unary    := ("not" | "¬" | "!" | "~") unary | quantified | primary
+    quantified := ("exists" | "∃") vars "(" atom AND formula ")"
+                | ("exists" | "∃") vars atom          -- bare guard
+    primary  := NAME "(" terms ")" | term ("=" | "<" | ">") term
+              | "(" formula ")"
+    term     := NAME          -- a variable
+              | INT | "'" chars "'"                   -- a constant
+    vars     := NAME ("," NAME)*
+
+``t > u`` is sugar for ``u < t``.  The guard of a quantifier must be a
+relation atom (guardedness is enforced by the AST constructors, so
+malformed quantifications raise :class:`~repro.errors.FragmentError`
+with a precise message).
+
+``parse_formula(formula_to_text(φ)) == φ`` holds for every formula the
+printer emits (property-tested).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import FragmentError, ParseError
+from repro.logic.ast import (
+    And,
+    Compare,
+    Const,
+    Formula,
+    GuardedExists,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    RelAtom,
+    Term,
+    Var,
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<string>'(?:\\.|[^'\\])*')
+  | (?P<int>-?\d+)
+  | (?P<arrow><->|->|↔|→)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<op>=|<|>)
+  | (?P<sym>[(),.∃¬∧∨!~&|])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "exists": "exists", "∃": "exists",
+    "not": "not", "¬": "not", "!": "not", "~": "not",
+    "and": "and", "∧": "and", "&": "and",
+    "or": "or", "∨": "or", "|": "or",
+    "implies": "->", "->": "->", "→": "->",
+    "iff": "<->", "<->": "<->", "↔": "<->",
+}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    text: str
+    pos: int
+
+
+def _tokenize(source: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    index = 0
+    while index < len(source):
+        match = _TOKEN_RE.match(source, index)
+        if match is None:
+            raise ParseError(
+                f"unexpected character {source[index]!r}", position=index
+            )
+        index = match.end()
+        kind = match.lastgroup or ""
+        if kind == "ws":
+            continue
+        text = match.group()
+        if text in _KEYWORDS:
+            kind, text = "keyword", _KEYWORDS[text]
+        tokens.append(_Token(kind, text, match.start()))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[_Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    def _peek(self) -> _Token | None:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of formula")
+        self._index += 1
+        return token
+
+    def _expect(self, kind: str, text: str | None = None) -> _Token:
+        token = self._next()
+        if token.kind != kind or (text is not None and token.text != text):
+            raise ParseError(
+                f"expected {text or kind!r}, found {token.text!r}",
+                position=token.pos,
+            )
+        return token
+
+    def _match(self, kind: str, text: str | None = None) -> _Token | None:
+        token = self._peek()
+        if (
+            token is not None
+            and token.kind == kind
+            and (text is None or token.text == text)
+        ):
+            self._index += 1
+            return token
+        return None
+
+    # -- grammar --------------------------------------------------------
+
+    def parse(self) -> Formula:
+        formula = self._iff()
+        trailing = self._peek()
+        if trailing is not None:
+            raise ParseError(
+                f"unexpected trailing input {trailing.text!r}",
+                position=trailing.pos,
+            )
+        return formula
+
+    def _iff(self) -> Formula:
+        left = self._implies()
+        while self._match("keyword", "<->") or self._match("arrow", "<->"):
+            left = Iff(left, self._implies())
+        return left
+
+    def _implies(self) -> Formula:
+        left = self._or()
+        token = self._peek()
+        if token is not None and (
+            (token.kind == "keyword" and token.text == "->")
+            or (token.kind == "arrow" and token.text in ("->", "→"))
+        ):
+            self._next()
+            return Implies(left, self._implies())  # right-assoc
+        return left
+
+    def _or(self) -> Formula:
+        left = self._and()
+        while self._match("keyword", "or"):
+            left = Or(left, self._and())
+        return left
+
+    def _and(self) -> Formula:
+        left = self._unary()
+        while self._match("keyword", "and"):
+            left = And(left, self._unary())
+        return left
+
+    def _unary(self) -> Formula:
+        if self._match("keyword", "not"):
+            return Not(self._unary())
+        if self._match("keyword", "exists"):
+            return self._quantified()
+        return self._primary()
+
+    def _quantified(self) -> Formula:
+        bound = [self._expect("name").text]
+        while self._match("sym", ","):
+            bound.append(self._expect("name").text)
+        self._match("sym", ".")  # optional dot
+        if self._match("sym", "("):
+            guard = self._relation_atom()
+            self._expect("keyword", "and")
+            body = self._iff()
+            self._expect("sym", ")")
+        else:
+            guard = self._relation_atom()
+            anchor = bound[0]
+            body = Compare("=", Var(anchor), Var(anchor))
+        if not isinstance(guard, RelAtom):
+            raise FragmentError("the guard must be a relation atom")
+        return GuardedExists(tuple(bound), guard, body)
+
+    def _relation_atom(self) -> RelAtom:
+        name = self._expect("name")
+        self._expect("sym", "(")
+        terms = [self._term()]
+        while self._match("sym", ","):
+            terms.append(self._term())
+        self._expect("sym", ")")
+        return RelAtom(name.text, tuple(terms))
+
+    def _primary(self) -> Formula:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of formula")
+        if token.kind == "sym" and token.text == "(":
+            self._next()
+            inner = self._iff()
+            self._expect("sym", ")")
+            return inner
+        if token.kind == "name":
+            after = (
+                self._tokens[self._index + 1]
+                if self._index + 1 < len(self._tokens)
+                else None
+            )
+            if after is not None and after.kind == "sym" and after.text == "(":
+                return self._relation_atom()
+        left = self._term()
+        op = self._expect("op").text
+        right = self._term()
+        if op == ">":
+            return Compare("<", right, left)
+        return Compare(op, left, right)
+
+    def _term(self) -> Term:
+        token = self._next()
+        if token.kind == "name":
+            return Var(token.text)
+        if token.kind == "int":
+            return Const(int(token.text))
+        if token.kind == "string":
+            raw = token.text[1:-1]
+            return Const(raw.replace("\\'", "'").replace("\\\\", "\\"))
+        raise ParseError(
+            f"expected a term, found {token.text!r}", position=token.pos
+        )
+
+
+def parse_formula(source: str) -> Formula:
+    """Parse the textual GF syntax into a formula.
+
+    >>> phi = parse_formula("exists y (R(x,y) and not S(y))")
+    >>> sorted(phi.free_variables())
+    ['x']
+    """
+    tokens = _tokenize(source)
+    if not tokens:
+        raise ParseError("empty formula")
+    return _Parser(tokens).parse()

@@ -1,0 +1,44 @@
+"""Textual rendering of GF formulas (paper-style notation)."""
+
+from __future__ import annotations
+
+from repro.errors import SchemaError
+from repro.logic.ast import (
+    And,
+    Compare,
+    Formula,
+    GuardedExists,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    RelAtom,
+)
+
+
+def formula_to_text(formula: Formula) -> str:
+    """Render a formula, e.g. ``∃y (Visits(x,y) ∧ ¬∃z (...))``."""
+    return _render(formula, parent_binds=False)
+
+
+def _render(formula: Formula, parent_binds: bool) -> str:
+    if isinstance(formula, RelAtom):
+        inner = ",".join(str(t) for t in formula.terms)
+        return f"{formula.name}({inner})"
+    if isinstance(formula, Compare):
+        return f"{formula.left} {formula.op} {formula.right}"
+    if isinstance(formula, Not):
+        return f"¬{_render(formula.body, parent_binds=True)}"
+    if isinstance(formula, (And, Or, Implies, Iff)):
+        symbol = {And: "∧", Or: "∨", Implies: "→", Iff: "↔"}[type(formula)]
+        text = (
+            f"{_render(formula.left, parent_binds=True)} {symbol} "
+            f"{_render(formula.right, parent_binds=True)}"
+        )
+        return f"({text})" if parent_binds else text
+    if isinstance(formula, GuardedExists):
+        bound = ",".join(formula.bound)
+        guard = _render(formula.guard, parent_binds=False)
+        body = _render(formula.body, parent_binds=True)
+        return f"∃{bound} ({guard} ∧ {body})"
+    raise SchemaError(f"unknown formula node: {type(formula).__name__}")

@@ -1,0 +1,256 @@
+"""Theorem 8, direction 1: SA= → GF.
+
+For every SA= expression ``E`` of arity ``k`` over schema ``S`` with
+constants in ``C``, produce a GF formula ``φ_E(x1, ..., xk)`` such that
+for every database ``D``::
+
+    { d̄ ∈ U^k | D ⊨ φ_E(d̄) }  =  E(D).
+
+The translation is by structural induction.  The interesting cases are
+projection and semijoin, where an inner tuple must be existentially
+quantified: GF only allows *guarded* quantification, so we exploit the
+closure property that SA= expressions output only **C-stored** tuples
+(every non-constant value of a result tuple comes from one stored
+tuple).  The quantified tuple is therefore enumerated by "storage
+shape": a guard relation ``G``, a partial map from inner positions to
+guard positions, and constants from ``C`` for the remaining positions.
+Each shape yields one guarded disjunct; equalities that would place an
+outer free variable inside the quantifier are hoisted outside (GF
+requires every free variable of a quantified body to occur in the
+guard, which we arrange by substituting outer variables directly into
+the guard atom).
+
+The construction makes the formula size exponential in expression depth
+(each shape duplicates the inner formula) — faithful to the theorem,
+which asserts expressibility, not succinctness.  Tests therefore use
+small schemas and shallow expressions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Iterator
+
+from repro.algebra.ast import (
+    ConstantTag,
+    Difference,
+    Expr,
+    Projection,
+    Rel,
+    Selection,
+    Semijoin,
+    Union,
+    is_sa_eq,
+)
+from repro.data.schema import Schema
+from repro.data.universe import Value
+from repro.errors import FragmentError, SchemaError
+from repro.logic.ast import (
+    And,
+    Compare,
+    Const,
+    Formula,
+    GuardedExists,
+    Not,
+    Or,
+    RelAtom,
+    Term,
+    Var,
+    eq,
+    substitute,
+)
+
+
+def canonical_vars(arity: int) -> tuple[Var, ...]:
+    """The canonical free variables ``x1, ..., xk``."""
+    return tuple(Var(f"x{i}") for i in range(1, arity + 1))
+
+
+@dataclass
+class _Translator:
+    schema: Schema
+    constants: tuple[Value, ...]
+    _fresh: int = 0
+
+    def fresh_var(self) -> Var:
+        self._fresh += 1
+        return Var(f"w{self._fresh}")
+
+    # ------------------------------------------------------------------
+
+    def translate(self, expr: Expr) -> Formula:
+        """φ_E over the canonical variables x1..x_arity(E)."""
+        if isinstance(expr, Rel):
+            return RelAtom(expr.name, canonical_vars(expr.arity))
+        if isinstance(expr, Union):
+            return Or(self.translate(expr.left), self.translate(expr.right))
+        if isinstance(expr, Difference):
+            return And(
+                self.translate(expr.left), Not(self.translate(expr.right))
+            )
+        if isinstance(expr, Selection):
+            inner = self.translate(expr.child)
+            comparison = Compare(
+                expr.op, Var(f"x{expr.i}"), Var(f"x{expr.j}")
+            )
+            return And(inner, comparison)
+        if isinstance(expr, ConstantTag):
+            inner = self.translate(expr.child)
+            new_position = expr.child.arity + 1
+            return And(inner, eq(Var(f"x{new_position}"), Const(expr.value)))
+        if isinstance(expr, Projection):
+            return self._translate_projection(expr)
+        if isinstance(expr, Semijoin):
+            return self._translate_semijoin(expr)
+        raise FragmentError(
+            f"not an SA= node: {type(expr).__name__} "
+            "(only SA= expressions translate to GF)"
+        )
+
+    # ------------------------------------------------------------------
+    # The storage-shape machinery shared by projection and semijoin.
+    # ------------------------------------------------------------------
+
+    def _storage_disjunction(
+        self,
+        inner: Expr,
+        pins: tuple[tuple[int, Var], ...],
+    ) -> Formula:
+        """``∃ C-stored ȳ: φ_inner(ȳ) ∧ ⋀ (y_pos = pinned var)``.
+
+        ``pins`` lists pairs ``(inner 1-based position, outer variable)``
+        that the quantified tuple must agree with.  Returns a disjunction
+        over all storage shapes; see the module docstring.
+        """
+        inner_formula = self.translate(inner)
+        arity = inner.arity
+        disjuncts = []
+        for shape in self._shapes(arity):
+            disjuncts.append(
+                self._shape_disjunct(inner_formula, arity, shape, pins)
+            )
+        if not disjuncts:
+            raise SchemaError("empty schema: no storage shapes exist")
+        result = disjuncts[0]
+        for disjunct in disjuncts[1:]:
+            result = Or(result, disjunct)
+        return result
+
+    def _shapes(
+        self, arity: int
+    ) -> Iterator[tuple[str, dict[int, int], dict[int, Value]]]:
+        """All storage shapes ``(guard name, position map, constant map)``.
+
+        A shape assigns every inner position (1-based) either a guard
+        position (1-based) or a constant from C.
+        """
+        for guard_name in self.schema:
+            guard_arity = self.schema[guard_name]
+            slots: list[tuple[object, ...]] = []
+            for __ in range(arity):
+                options: list[object] = [("g", q) for q in range(1, guard_arity + 1)]
+                options.extend(("c", value) for value in self.constants)
+                slots.append(tuple(options))
+            for combo in product(*slots):
+                position_map: dict[int, int] = {}
+                constant_map: dict[int, Value] = {}
+                for index, choice in enumerate(combo, start=1):
+                    kind, payload = choice
+                    if kind == "g":
+                        position_map[index] = payload  # type: ignore[assignment]
+                    else:
+                        constant_map[index] = payload  # type: ignore[assignment]
+                yield guard_name, position_map, constant_map
+
+    def _shape_disjunct(
+        self,
+        inner_formula: Formula,
+        arity: int,
+        shape: tuple[str, dict[int, int], dict[int, Value]],
+        pins: tuple[tuple[int, Var], ...],
+    ) -> Formula:
+        guard_name, position_map, constant_map = shape
+        guard_arity = self.schema[guard_name]
+
+        # Guard terms start as fresh variables; pinned inner positions
+        # substitute the outer variable directly into the guard.
+        guard_terms: list[Term] = [self.fresh_var() for __ in range(guard_arity)]
+        pinned_at: dict[int, Var] = {}
+        outer_conjuncts: list[Formula] = []
+        for inner_position, outer_var in pins:
+            if inner_position in position_map:
+                q = position_map[inner_position]
+                if q in pinned_at:
+                    # Two outer variables pinned to the same guard slot:
+                    # keep the first in the guard, equate the second
+                    # outside the quantifier.
+                    outer_conjuncts.append(eq(outer_var, pinned_at[q]))
+                else:
+                    pinned_at[q] = outer_var
+                    guard_terms[q - 1] = outer_var
+            else:
+                constant = constant_map[inner_position]
+                outer_conjuncts.append(eq(outer_var, Const(constant)))
+
+        # Assemble the quantified tuple ȳ.
+        mapping: dict[str, Term] = {}
+        for index in range(1, arity + 1):
+            if index in position_map:
+                mapping[f"x{index}"] = guard_terms[position_map[index] - 1]
+            else:
+                mapping[f"x{index}"] = Const(constant_map[index])
+        body = substitute(inner_formula, mapping)
+
+        guard = RelAtom(guard_name, tuple(guard_terms))
+        bound = tuple(
+            t.name
+            for t in guard_terms
+            if isinstance(t, Var) and t.name.startswith("w")
+        )
+        quantified: Formula = GuardedExists(bound, guard, body)
+        for conjunct in outer_conjuncts:
+            quantified = And(conjunct, quantified)
+        return quantified
+
+    # ------------------------------------------------------------------
+
+    def _translate_projection(self, expr: Projection) -> Formula:
+        pins = tuple(
+            (inner_position, Var(f"x{s}"))
+            for s, inner_position in enumerate(expr.positions, start=1)
+        )
+        return self._storage_disjunction(expr.child, pins)
+
+    def _translate_semijoin(self, expr: Semijoin) -> Formula:
+        if not expr.cond.is_equi():
+            raise FragmentError(
+                "only equi-semijoins translate to GF (SA= fragment); "
+                f"got condition {expr.cond}"
+            )
+        left_formula = self.translate(expr.left)
+        pins = tuple(
+            (atom.j, Var(f"x{atom.i}")) for atom in expr.cond
+        )
+        right_part = self._storage_disjunction(expr.right, pins)
+        return And(left_formula, right_part)
+
+
+def sa_to_gf(expr: Expr, schema: Schema) -> Formula:
+    """Translate an SA= expression to an equivalent GF formula.
+
+    The result's free variables are ``x1, ..., x_arity(E)`` and satisfy
+    Theorem 8 direction 1: satisfaction (under any assignment) coincides
+    with membership in ``E(D)``.
+    """
+    if not is_sa_eq(expr):
+        raise FragmentError(
+            "sa_to_gf requires an SA= expression (no joins, "
+            "equi-semijoins only)"
+        )
+    for name in expr.relation_names():
+        if name not in schema:
+            raise SchemaError(f"expression uses {name!r} not in schema")
+    constants = tuple(sorted(expr.constants(), key=repr))
+    translator = _Translator(schema=schema, constants=constants)
+    return translator.translate(expr)

@@ -1,0 +1,104 @@
+"""The "C-stored universal relation" as an SA= expression.
+
+The GF→SA= translation (Theorem 8, direction 2) needs, for each arity
+``k``, an expression whose value on every database is the set of all
+C-stored ``k``-tuples.  A C-stored tuple assigns every position either a
+constant from ``C`` or a value of one stored tuple, so the expression is
+a union over *shapes*: a relation name ``R``, a map from non-constant
+positions to columns of ``R``, and constants for the rest — built from
+``π``, ``τ`` and ``∪`` only (no joins or semijoins needed).
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Iterable
+
+from repro.algebra.ast import ConstantTag, Expr, Projection, Rel, Union
+from repro.data.schema import Schema
+from repro.data.universe import Value
+from repro.errors import SchemaError
+
+
+def union_all(parts: Iterable[Expr]) -> Expr:
+    """Left-deep union of a nonempty sequence of same-arity expressions."""
+    parts = list(parts)
+    if not parts:
+        raise SchemaError("union_all needs at least one operand")
+    result = parts[0]
+    for part in parts[1:]:
+        result = Union(result, part)
+    return result
+
+
+def empty_expr(schema: Schema, arity: int) -> Expr:
+    """An SA= expression that is empty on **every** database.
+
+    Uses ``E − E`` for the all-stored expression of the given arity.
+    """
+    universal = c_stored_expr(schema, (), arity)
+    from repro.algebra.ast import Difference
+
+    return Difference(universal, universal)
+
+
+def nonempty_witness_expr(schema: Schema) -> Expr:
+    """Arity-0 expression: ``{()}`` iff some relation is nonempty.
+
+    This is ``⋃_R π_[](R)`` — the nullary projection of every relation.
+    """
+    return union_all(
+        Projection(Rel(name, schema[name]), ()) for name in schema
+    )
+
+
+def c_stored_expr(
+    schema: Schema, constants: Iterable[Value], arity: int
+) -> Expr:
+    """All C-stored ``arity``-tuples, as an SA= expression.
+
+    For ``arity = 0`` this is the nonempty-database witness (Definition 4
+    makes ``()`` C-stored exactly when some relation is nonempty).
+    """
+    constant_values = tuple(sorted(set(constants), key=repr))
+    if arity == 0:
+        return nonempty_witness_expr(schema)
+    parts: list[Expr] = []
+    seen: set[Expr] = set()
+    for name in schema:
+        rel_arity = schema[name]
+        options: list[tuple[str, object]] = [
+            ("col", q) for q in range(1, rel_arity + 1)
+        ]
+        options.extend(("const", value) for value in constant_values)
+        for combo in product(options, repeat=arity):
+            part = _shape_expr(Rel(name, rel_arity), combo)
+            if part not in seen:
+                seen.add(part)
+                parts.append(part)
+    return union_all(parts)
+
+
+def _shape_expr(base: Rel, combo: tuple[tuple[str, object], ...]) -> Expr:
+    """Build ``π_weave(τ_consts(π_cols(R)))`` for one storage shape."""
+    columns = [payload for kind, payload in combo if kind == "col"]
+    constants = [payload for kind, payload in combo if kind == "const"]
+
+    expr: Expr = Projection(base, tuple(columns))  # type: ignore[arg-type]
+    for value in constants:
+        expr = ConstantTag(expr, value)  # type: ignore[arg-type]
+
+    # After projection+tagging, columns 1..len(columns) hold the chosen
+    # relation columns in combo order, and len(columns)+i holds the i-th
+    # constant.  Weave them back into the requested positions.
+    weave: list[int] = []
+    column_index = 0
+    constant_index = 0
+    for kind, __ in combo:
+        if kind == "col":
+            column_index += 1
+            weave.append(column_index)
+        else:
+            constant_index += 1
+            weave.append(len(columns) + constant_index)
+    return Projection(expr, tuple(weave))

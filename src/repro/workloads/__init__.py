@@ -1,0 +1,27 @@
+"""Seeded workload generators for experiments and tests."""
+
+from repro.workloads.generators import (
+    Family,
+    containment_biased_pair,
+    crossproduct_division_family,
+    division_database,
+    division_workload,
+    equal_sets_pair,
+    fig5_scaled_pair,
+    random_database,
+    zipf_set_relation,
+    zipf_weights,
+)
+
+__all__ = [
+    "Family",
+    "containment_biased_pair",
+    "crossproduct_division_family",
+    "division_database",
+    "division_workload",
+    "equal_sets_pair",
+    "fig5_scaled_pair",
+    "random_database",
+    "zipf_set_relation",
+    "zipf_weights",
+]

@@ -1,0 +1,276 @@
+"""Workload generators for experiments and property tests.
+
+Deterministic (seeded) generators for:
+
+* random databases over arbitrary schemas;
+* division workloads ``R(A, B), S(B)`` with controlled quotient
+  selectivity (which fraction of A's contain the divisor);
+* Zipf-skewed set-valued data for the set-join shoot-outs (the workload
+  style of Helmer–Moerkotte [13] and Ramasamy et al. [16]);
+* the scaled database families behind the growth experiments.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Sequence
+
+from repro.data.database import Database, Row
+from repro.data.schema import Schema
+from repro.data.universe import Value
+from repro.errors import SchemaError
+from repro.setjoins.setrel import SetRelation
+
+
+def random_database(
+    schema: Schema,
+    rows_per_relation: int,
+    domain_size: int = 32,
+    seed: int = 0,
+) -> Database:
+    """A random database with ~``rows_per_relation`` rows per relation."""
+    rng = random.Random(seed)
+    relations: dict[str, set[Row]] = {}
+    for name in schema:
+        arity = schema[name]
+        rows: set[Row] = set()
+        for __ in range(rows_per_relation):
+            rows.add(
+                tuple(rng.randrange(domain_size) for __ in range(arity))
+            )
+        relations[name] = rows
+    return Database(schema, relations)
+
+
+def division_workload(
+    num_keys: int,
+    divisor_size: int,
+    extra_per_key: int = 2,
+    hit_fraction: float = 0.5,
+    seed: int = 0,
+) -> tuple[frozenset[tuple[Value, Value]], frozenset[Value]]:
+    """A division instance ``(R, S)`` with known quotient selectivity.
+
+    ``hit_fraction`` of the keys relate to *all* divisor values (they
+    belong to the quotient); the rest miss at least one.  Every key
+    additionally relates to ``extra_per_key`` non-divisor values, so
+    totals differ from matches (exercising the equality variant too).
+
+    Keys are ``0..num_keys-1``; divisor values are ``10**6 + i`` —
+    disjoint from keys so workloads stay readable in failures.
+    """
+    if not 0.0 <= hit_fraction <= 1.0:
+        raise SchemaError("hit_fraction must be within [0, 1]")
+    rng = random.Random(seed)
+    divisor = tuple(10**6 + i for i in range(divisor_size))
+    rows: set[tuple[Value, Value]] = set()
+    hits = int(round(num_keys * hit_fraction))
+    for key in range(num_keys):
+        if key < hits:
+            members: Sequence[Value] = divisor
+        elif divisor_size > 0:
+            drop = rng.randrange(divisor_size)
+            members = tuple(
+                b for i, b in enumerate(divisor) if i != drop
+            )
+        else:
+            members = ()
+        for b in members:
+            rows.add((key, b))
+        for j in range(extra_per_key):
+            rows.add((key, 2 * 10**6 + rng.randrange(10 * (j + 1) + 1)))
+    return frozenset(rows), frozenset(divisor)
+
+
+def sparse_division_workload(
+    num_keys: int,
+    divisor_size: int,
+    elements_per_key: int = 3,
+    full_keys: int = 1,
+    seed: int = 0,
+) -> tuple[frozenset[tuple[Value, Value]], frozenset[Value]]:
+    """A division instance with ``|R| = Θ(num_keys + divisor_size)``.
+
+    Most keys relate to only ``elements_per_key`` divisor values, so the
+    dividend stays linear while the candidate × divisor probe space
+    grows like ``num_keys · divisor_size`` — the regime where the
+    quadratic strategies (nested loop, classic RA plan) visibly separate
+    from hash/counting division.  ``full_keys`` keys contain the whole
+    divisor, keeping the quotient nonempty.
+    """
+    rng = random.Random(seed)
+    divisor = tuple(10**6 + i for i in range(divisor_size))
+    rows: set[tuple[Value, Value]] = set()
+    for key in range(num_keys):
+        if key < full_keys:
+            for b in divisor:
+                rows.add((key, b))
+            continue
+        for __ in range(min(elements_per_key, divisor_size)):
+            rows.add((key, divisor[rng.randrange(divisor_size)]))
+        if divisor_size == 0:
+            rows.add((key, 2 * 10**6))
+    return frozenset(rows), frozenset(divisor)
+
+
+def division_database(
+    num_keys: int,
+    divisor_size: int,
+    extra_per_key: int = 2,
+    hit_fraction: float = 0.5,
+    seed: int = 0,
+) -> Database:
+    """The same workload packaged as a database over ``{R/2, S/1}``."""
+    rows, divisor = division_workload(
+        num_keys, divisor_size, extra_per_key, hit_fraction, seed
+    )
+    return Database(
+        Schema({"R": 2, "S": 1}),
+        {"R": rows, "S": {(b,) for b in divisor}},
+    )
+
+
+def crossproduct_division_family(n: int) -> Database:
+    """A family where the classic division plan's cross product blows up.
+
+    ``R`` pairs key i with divisor values so that |π_A(R)| and |S| both
+    grow like n, making ``π_A(R) × S`` grow like n² while |D| = Θ(n).
+    """
+    half = max(1, n // 2)
+    rows = {(i, 10**6 + (i % half)) for i in range(half)}
+    divisor = {(10**6 + i,) for i in range(half)}
+    return Database(
+        Schema({"R": 2, "S": 1}), {"R": rows, "S": divisor}
+    )
+
+
+def zipf_weights(count: int, skew: float) -> list[float]:
+    """Unnormalized Zipf weights ``1/k^skew`` for ranks 1..count."""
+    return [1.0 / (rank**skew) for rank in range(1, count + 1)]
+
+
+def zipf_set_relation(
+    num_sets: int,
+    min_size: int,
+    max_size: int,
+    universe_size: int,
+    skew: float = 1.0,
+    seed: int = 0,
+    key_offset: int = 0,
+) -> SetRelation:
+    """Set-valued data with Zipf-distributed element popularity.
+
+    The standard workload shape of the set-containment join papers:
+    a few hot elements appear in most sets, the long tail is rare.
+    """
+    if min_size < 1 or max_size < min_size:
+        raise SchemaError("need 1 <= min_size <= max_size")
+    rng = random.Random(seed)
+    population = list(range(universe_size))
+    weights = zipf_weights(universe_size, skew)
+    sets: dict[Value, set[Value]] = {}
+    for index in range(num_sets):
+        size = rng.randint(min_size, min(max_size, universe_size))
+        chosen: set[Value] = set()
+        while len(chosen) < size:
+            chosen.update(
+                rng.choices(population, weights=weights, k=size - len(chosen))
+            )
+        sets[key_offset + index] = chosen
+    return SetRelation.from_mapping(sets)
+
+
+def containment_biased_pair(
+    num_left: int,
+    num_right: int,
+    universe_size: int = 64,
+    left_size: tuple[int, int] = (8, 16),
+    right_size: tuple[int, int] = (2, 6),
+    containment_fraction: float = 0.3,
+    seed: int = 0,
+) -> tuple[SetRelation, SetRelation]:
+    """A (provider, required) pair with a known fraction of hits.
+
+    ``containment_fraction`` of the required sets are sampled as genuine
+    subsets of a random provider set; the rest are sampled freely (and
+    so almost never contained).
+    """
+    rng = random.Random(seed)
+    left = zipf_set_relation(
+        num_left, left_size[0], left_size[1], universe_size,
+        skew=1.0, seed=seed,
+    )
+    right_sets: dict[Value, set[Value]] = {}
+    left_keys = left.keys()
+    for index in range(num_right):
+        size = rng.randint(right_size[0], right_size[1])
+        key = 10**6 + index
+        if left_keys and rng.random() < containment_fraction:
+            source = sorted(left[rng.choice(left_keys)], key=repr)
+            rng.shuffle(source)
+            right_sets[key] = set(source[: max(1, min(size, len(source)))])
+        else:
+            right_sets[key] = {
+                rng.randrange(universe_size) for __ in range(size)
+            } or {0}
+    return left, SetRelation.from_mapping(right_sets)
+
+
+def equal_sets_pair(
+    num_groups: int,
+    group_size: int,
+    set_size: int = 4,
+    seed: int = 0,
+) -> tuple[SetRelation, SetRelation]:
+    """A set-equality workload where the output is quadratic.
+
+    Both sides contain ``num_groups`` groups of ``group_size`` keys
+    sharing one set per group, so the join output has
+    ``num_groups · group_size²`` pairs — footnote 1's point that the
+    result size alone can be quadratic.
+    """
+    rng = random.Random(seed)
+    left: dict[Value, set[Value]] = {}
+    right: dict[Value, set[Value]] = {}
+    for group in range(num_groups):
+        shared = {group * set_size + offset for offset in range(set_size)}
+        for member in range(group_size):
+            left[group * group_size + member] = set(shared)
+            right[10**6 + group * group_size + member] = set(shared)
+    return (
+        SetRelation.from_mapping(left),
+        SetRelation.from_mapping(right),
+    )
+
+
+def fig5_scaled_pair(width: int) -> tuple[Database, Database]:
+    """A scaled version of the Fig. 5 inexpressibility witness.
+
+    ``A``: ``width`` quotient keys, each related to divisor values
+    ``{7, 8}``; ``S = {7, 8}`` — so ``R ÷ S`` is everything.
+    ``B``: the paper's 3-key/3-value pattern (each key missing exactly
+    one divisor value) padded with ``width - 3`` extra keys following
+    the same rotation — so ``R ÷ S`` is empty, yet the pairs stay
+    C-guarded bisimilar for ``C`` avoiding the values.
+    """
+    if width < 3:
+        raise SchemaError("fig5_scaled_pair needs width >= 3")
+    schema = Schema({"R": 2, "S": 1})
+    # Keys start at 100 so they never collide with the divisor values
+    # 7, 8, 9 (order between keys and values stays uniform).
+    keys = tuple(100 + i for i in range(width))
+    a_rows = {(key, b) for key in keys for b in (7, 8)}
+    a = Database(schema, {"R": a_rows, "S": {(7,), (8,)}})
+    values = (7, 8, 9)
+    b_rows = set()
+    for offset, key in enumerate(keys):
+        missing = offset % 3
+        for index, value in enumerate(values):
+            if index != missing:
+                b_rows.add((key, value))
+    b = Database(schema, {"R": b_rows, "S": {(v,) for v in values}})
+    return a, b
+
+
+#: The family type used by growth experiments.
+Family = Callable[[int], Database]

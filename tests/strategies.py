@@ -1,0 +1,213 @@
+"""Shared hypothesis strategies and fixtures for the test suite.
+
+Provides random databases over a small fixed schema and random RA/SA
+expressions with controllable fragment restrictions (equi-only,
+semijoin-only, constant usage).  Arities are kept small so that the
+brute-force oracles stay fast.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.algebra.ast import (
+    ConstantTag,
+    Difference,
+    Expr,
+    Join,
+    Projection,
+    Rel,
+    Selection,
+    Semijoin,
+    Union,
+)
+from repro.algebra.conditions import Atom, Condition
+from repro.data.database import Database
+from repro.data.schema import Schema
+
+#: The standard test schema: a binary, a unary and a ternary relation.
+TEST_SCHEMA = Schema({"R": 2, "S": 1, "T": 3})
+
+#: Ullman's beer-drinkers schema (Example 3 / Fig. 6).
+BEER_SCHEMA = Schema({"Likes": 2, "Serves": 2, "Visits": 2})
+
+#: Values drawn for random databases; deliberately tiny so joins collide.
+VALUES = st.integers(min_value=0, max_value=7)
+
+#: Constants available for ``τ_c`` in random expressions.
+TEST_CONSTANTS = (0, 5)
+
+#: The arity cap for random expressions (joins double arities fast).
+MAX_ARITY = 6
+
+
+def rows(arity: int, max_rows: int = 6) -> st.SearchStrategy:
+    """Sets of random tuples of the given arity."""
+    return st.frozensets(
+        st.tuples(*([VALUES] * arity)), min_size=0, max_size=max_rows
+    )
+
+
+@st.composite
+def databases(draw, schema: Schema = TEST_SCHEMA, max_rows: int = 6) -> Database:
+    """Random databases over ``schema``."""
+    relations = {
+        name: draw(rows(schema[name], max_rows)) for name in schema
+    }
+    return Database(schema, relations)
+
+
+@st.composite
+def conditions(
+    draw,
+    left_arity: int,
+    right_arity: int,
+    equi_only: bool = False,
+    max_atoms: int = 2,
+) -> Condition:
+    """Random join/semijoin conditions within the given arities."""
+    ops = ["="] if equi_only else ["=", "!=", "<", ">"]
+    count = draw(st.integers(min_value=0, max_value=max_atoms))
+    atoms = tuple(
+        Atom(
+            draw(st.integers(1, left_arity)),
+            draw(st.sampled_from(ops)),
+            draw(st.integers(1, right_arity)),
+        )
+        for _ in range(count)
+    )
+    return Condition(atoms)
+
+
+def _fit_arity(expr: Expr, target: int) -> Expr:
+    """Project/pad an expression to exactly ``target`` columns.
+
+    Used to align the operands of random unions/differences.  Padding
+    repeats the first column; shrinking keeps a prefix.  This changes
+    the query, not its well-formedness — fine for random testing.
+    """
+    if expr.arity == target:
+        return expr
+    if expr.arity > target:
+        return Projection(expr, tuple(range(1, target + 1)))
+    positions = tuple(range(1, expr.arity + 1)) + tuple(
+        [1] * (target - expr.arity)
+    )
+    return Projection(expr, positions)
+
+
+@st.composite
+def expressions(
+    draw,
+    schema: Schema = TEST_SCHEMA,
+    max_depth: int = 4,
+    equi_only: bool = False,
+    allow_join: bool = True,
+    allow_semijoin: bool = True,
+    allow_order: bool = True,
+    constants: tuple = TEST_CONSTANTS,
+) -> Expr:
+    """Random well-formed expressions over ``schema``.
+
+    ``allow_join=False`` yields SA expressions; additionally
+    ``equi_only=True`` yields SA= (the fragment of Theorem 8).
+    """
+    if max_depth <= 1:
+        name = draw(st.sampled_from(sorted(schema)))
+        return Rel(name, schema[name])
+
+    choices = ["rel", "union", "difference", "projection", "selection"]
+    if constants:
+        choices.append("tag")
+    if allow_join:
+        choices.append("join")
+    if allow_semijoin:
+        choices.append("semijoin")
+    kind = draw(st.sampled_from(choices))
+    recurse = lambda: draw(  # noqa: E731 - local shorthand
+        expressions(
+            schema=schema,
+            max_depth=max_depth - 1,
+            equi_only=equi_only,
+            allow_join=allow_join,
+            allow_semijoin=allow_semijoin,
+            allow_order=allow_order,
+            constants=constants,
+        )
+    )
+
+    if kind == "rel":
+        name = draw(st.sampled_from(sorted(schema)))
+        return Rel(name, schema[name])
+    if kind in ("union", "difference"):
+        left = recurse()
+        right = _fit_arity(recurse(), left.arity)
+        return Union(left, right) if kind == "union" else Difference(
+            left, right
+        )
+    if kind == "projection":
+        child = recurse()
+        width = draw(st.integers(min_value=1, max_value=child.arity))
+        positions = tuple(
+            draw(st.integers(1, child.arity)) for _ in range(width)
+        )
+        return Projection(child, positions)
+    if kind == "selection":
+        child = recurse()
+        op = draw(st.sampled_from(["=", "<"] if allow_order else ["="]))
+        i = draw(st.integers(1, child.arity))
+        j = draw(st.integers(1, child.arity))
+        return Selection(child, op, i, j)
+    if kind == "tag":
+        child = recurse()
+        if child.arity >= MAX_ARITY:
+            child = _fit_arity(child, MAX_ARITY - 1)
+        return ConstantTag(child, draw(st.sampled_from(constants)))
+    # join / semijoin
+    left = recurse()
+    right = recurse()
+    if kind == "join" and left.arity + right.arity > MAX_ARITY:
+        left = _fit_arity(left, max(1, MAX_ARITY // 2))
+        right = _fit_arity(right, max(1, MAX_ARITY - left.arity))
+    cond = draw(
+        conditions(
+            left.arity,
+            right.arity,
+            equi_only=equi_only or not allow_order,
+        )
+    )
+    if kind == "join":
+        return Join(left, right, cond)
+    return Semijoin(left, right, cond)
+
+
+def sa_eq_expressions(
+    schema: Schema = TEST_SCHEMA,
+    max_depth: int = 4,
+    constants: tuple = TEST_CONSTANTS,
+) -> st.SearchStrategy:
+    """Random SA= expressions (no joins, equi-semijoins, no order)."""
+    return expressions(
+        schema=schema,
+        max_depth=max_depth,
+        equi_only=True,
+        allow_join=False,
+        allow_semijoin=True,
+        allow_order=False,
+        constants=constants,
+    )
+
+
+def ra_expressions(
+    schema: Schema = TEST_SCHEMA,
+    max_depth: int = 4,
+    constants: tuple = TEST_CONSTANTS,
+) -> st.SearchStrategy:
+    """Random RA expressions (joins, no semijoins, full conditions)."""
+    return expressions(
+        schema=schema,
+        max_depth=max_depth,
+        allow_join=True,
+        allow_semijoin=False,
+        constants=constants,
+    )

@@ -1,0 +1,116 @@
+"""Tests for the experiment harness and all registered experiments.
+
+Running every experiment here makes ``pytest tests/`` the one command
+that checks the complete reproduction, including all paper-shape claims.
+"""
+
+import pytest
+
+import repro.bench.experiments  # noqa: F401 - populate the registry
+from repro.bench.harness import (
+    REGISTRY,
+    ExperimentResult,
+    format_table,
+    run_experiment,
+)
+from repro.bench.metrics import containment_work, division_work
+from repro.setjoins.setrel import SetRelation
+
+EXPECTED_IDS = {
+    "FIG1", "FIG2", "FIG3", "FIG4", "FIG5", "FIG6",
+    "EX3", "THM8", "THM17", "THM18", "PROP26",
+    "ALG-DIV", "ALG-SCJ", "ALG-SEJ",
+}
+
+
+def test_registry_covers_every_paper_artifact():
+    assert set(REGISTRY) == EXPECTED_IDS
+
+
+def test_every_experiment_declares_a_paper_claim():
+    for meta in REGISTRY.values():
+        assert meta.paper_claim
+        assert meta.title
+
+
+@pytest.mark.parametrize("experiment_id", sorted(EXPECTED_IDS))
+def test_experiment_passes(experiment_id):
+    result = run_experiment(experiment_id)
+    failed = [c for c in result.claims if not c.passed]
+    assert result.passed(), (
+        f"{experiment_id} failed claims: "
+        + "; ".join(c.name for c in failed)
+    )
+
+
+def test_render_contains_claims_and_tables():
+    result = run_experiment("FIG1")
+    text = result.render()
+    assert "FIG1" in text
+    assert "[PASS]" in text
+    assert "Person ÷ Symptoms" in text
+    assert text.endswith("OK")
+
+
+def test_result_mechanics():
+    result = ExperimentResult("X", "t", "c")
+    assert not result.passed()  # no claims yet
+    result.check("a", True)
+    assert result.passed()
+    result.check("b", False, "boom")
+    assert not result.passed()
+    assert "FAIL" in result.render()
+
+
+def test_format_table_alignment():
+    table = format_table(["col", "n"], [["a", 1], ["long", 22]])
+    lines = table.splitlines()
+    assert len(lines) == 4
+    assert lines[0].startswith("col")
+    assert set(lines[1]) <= {"-", " "}
+
+
+def test_unknown_experiment_id():
+    with pytest.raises(KeyError):
+        run_experiment("NOPE")
+
+
+class TestMetrics:
+    def test_containment_work_shapes(self):
+        left = SetRelation.from_mapping({1: {1, 2}, 2: {3}})
+        right = SetRelation.from_mapping({10: {1}, 11: {9}})
+        work = containment_work(left, right)
+        assert work.nested_loop_pairs == 4
+        assert 0 <= work.signature_survivors <= 4
+        assert work.partition_pairs <= work.nested_loop_pairs * 2
+        assert work.inverted_postings >= 1
+        assert len(work.rows()) == 4
+
+    def test_division_work_shapes(self):
+        rows = {(a, b) for a in range(4) for b in (100, 101)}
+        work = division_work(rows, {100, 101})
+        assert work.nested_loop_probes == 8
+        assert work.hash_operations == 10
+        assert work.ra_plan_max_intermediate >= 8
+
+
+def test_cli_runner_selected(capsys):
+    from repro.bench.__main__ import main
+
+    assert main(["FIG2"]) == 0
+    out = capsys.readouterr().out
+    assert "FIG2" in out
+
+
+def test_cli_runner_list(capsys):
+    from repro.bench.__main__ import main
+
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "FIG4" in out
+
+
+def test_cli_runner_unknown():
+    from repro.bench.__main__ import main
+
+    assert main(["NOPE"]) == 2

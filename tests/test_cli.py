@@ -1,0 +1,181 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.bench.figures import fig5_databases
+from repro.cli import main
+from repro.data.database import database
+from repro.io.json_io import save_database
+
+
+@pytest.fixture
+def db_path(tmp_path):
+    db = database(
+        {"R": 2, "S": 1},
+        R=[(1, 7), (1, 8), (2, 7)],
+        S=[(7,), (8,)],
+    )
+    path = tmp_path / "db.json"
+    save_database(db, path)
+    return str(path)
+
+
+@pytest.fixture
+def fig5_paths(tmp_path):
+    a, b = fig5_databases()
+    path_a = tmp_path / "a.json"
+    path_b = tmp_path / "b.json"
+    save_database(a, path_a)
+    save_database(b, path_b)
+    return str(path_a), str(path_b)
+
+
+class TestEval:
+    def test_eval(self, db_path, capsys):
+        assert main(["eval", "-d", db_path, "project[1](R)"]) == 0
+        out = capsys.readouterr().out
+        assert "1" in out and "2" in out
+
+    def test_eval_semijoin(self, db_path, capsys):
+        assert main(["eval", "-d", db_path, "R semijoin[2=1] S"]) == 0
+        assert "7" in capsys.readouterr().out
+
+
+class TestTrace:
+    def test_trace_reports_sizes(self, db_path, capsys):
+        assert (
+            main(["trace", "-d", db_path, "project[1](R) cartesian S"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "|D| = 5" in out
+
+
+class TestClassify:
+    def test_classify_with_schema(self, capsys):
+        assert (
+            main(["classify", "--schema", "R:2,S:1", "R cartesian S"]) == 0
+        )
+        assert "quadratic" in capsys.readouterr().out
+
+    def test_classify_linear(self, capsys):
+        assert (
+            main(["classify", "--schema", "R:2,S:1", "R join[2=1] S"]) == 0
+        )
+        assert "linear" in capsys.readouterr().out
+
+    def test_classify_needs_schema_or_db(self, capsys):
+        assert main(["classify", "R cartesian S"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestCompile:
+    def test_compile(self, capsys):
+        assert (
+            main(
+                [
+                    "compile",
+                    "--schema",
+                    "R:2,S:1",
+                    "--ascii",
+                    "R join[2=1] S",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "semijoin" in out
+        assert "join[" not in out.replace("semijoin[", "")
+
+
+class TestDivide:
+    def test_divide_default(self, db_path, capsys):
+        assert main(["divide", "-d", db_path]) == 0
+        out = capsys.readouterr().out
+        assert "1" in out and "2" not in out.splitlines()
+
+    @pytest.mark.parametrize(
+        "algorithm", ["reference", "hash", "counting", "sort_merge"]
+    )
+    def test_divide_algorithms(self, db_path, algorithm, capsys):
+        assert (
+            main(["divide", "-d", db_path, "--algorithm", algorithm]) == 0
+        )
+        assert "1" in capsys.readouterr().out
+
+
+class TestBisim:
+    def test_bisimilar(self, fig5_paths, capsys):
+        a, b = fig5_paths
+        code = main(
+            [
+                "bisim", "-a", a, "-b", b,
+                "--left-tuple", "1", "--right-tuple", "1",
+            ]
+        )
+        assert code == 0
+        assert "bisimilar" in capsys.readouterr().out
+
+    def test_not_bisimilar_with_constants(self, fig5_paths, capsys):
+        a, b = fig5_paths
+        code = main(
+            [
+                "bisim", "-a", a, "-b", b,
+                "--left-tuple", "1", "--right-tuple", "1",
+                "--constants", "9",
+            ]
+        )
+        assert code == 1
+        assert "NOT" in capsys.readouterr().out
+
+
+class TestOptimize:
+    def test_optimize_introduces_semijoin(self, capsys):
+        code = main(
+            [
+                "optimize",
+                "--schema",
+                "R:2,S:1",
+                "--ascii",
+                "project[1,2](R join[2=1] S)",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "semijoin" in out
+
+
+class TestGf:
+    def test_gf_answers(self, db_path, capsys):
+        code = main(
+            [
+                "gf",
+                "-d",
+                db_path,
+                "exists y (R(x, y) and S(y))",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "x" in out.splitlines()[0]
+        assert any(line == "1" for line in out.splitlines())
+
+    def test_gf_c_stored(self, db_path, capsys):
+        code = main(["gf", "-d", db_path, "x = y", "--c-stored"])
+        assert code == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert lines[0] == "x\ty"
+
+    def test_gf_explicit_var_order(self, db_path, capsys):
+        code = main(
+            ["gf", "-d", db_path, "R(x, y)", "--vars", "y", "x"]
+        )
+        assert code == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert lines[0] == "y\tx"
+        assert "7\t1" in lines
+
+
+class TestBench:
+    def test_bench_subcommand(self, capsys):
+        assert main(["bench", "FIG2"]) == 0
+        assert "FIG2" in capsys.readouterr().out

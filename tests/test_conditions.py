@@ -1,0 +1,152 @@
+"""Tests for join conditions (:mod:`repro.algebra.conditions`)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.algebra.conditions import (
+    TRUE,
+    Atom,
+    Condition,
+    condition,
+    parse_atom,
+)
+from repro.errors import ParseError, PositionError, SchemaError
+
+
+class TestAtom:
+    def test_holds_eq(self):
+        assert Atom(1, "=", 2).holds((5,), (0, 5))
+        assert not Atom(1, "=", 2).holds((5,), (0, 6))
+
+    def test_holds_neq(self):
+        assert Atom(1, "!=", 1).holds((5,), (6,))
+
+    def test_holds_lt_gt(self):
+        assert Atom(1, "<", 1).holds((1,), (2,))
+        assert Atom(1, ">", 1).holds((2,), (1,))
+
+    def test_mirrored(self):
+        assert Atom(2, "<", 3).mirrored() == Atom(3, ">", 2)
+        assert Atom(1, "=", 2).mirrored() == Atom(2, "=", 1)
+
+    def test_mirror_is_involution(self):
+        for op in ("=", "!=", "<", ">"):
+            atom = Atom(1, op, 2)
+            assert atom.mirrored().mirrored() == atom
+
+    def test_bad_operator(self):
+        with pytest.raises(SchemaError):
+            Atom(1, "<=", 2)
+
+    def test_bad_positions(self):
+        with pytest.raises(PositionError):
+            Atom(0, "=", 1)
+        with pytest.raises(PositionError):
+            Atom(1, "=", 0)
+
+    def test_str(self):
+        assert str(Atom(2, "!=", 1)) == "2!=1"
+
+
+class TestParseAtom:
+    def test_simple(self):
+        assert parse_atom("2=1") == Atom(2, "=", 1)
+
+    def test_whitespace(self):
+        assert parse_atom("  3 < 1 ") == Atom(3, "<", 1)
+
+    def test_neq_preferred_over_eq(self):
+        assert parse_atom("2!=1") == Atom(2, "!=", 1)
+
+    def test_no_operator(self):
+        with pytest.raises(ParseError):
+            parse_atom("21")
+
+    def test_garbage(self):
+        with pytest.raises(ParseError):
+            parse_atom("a=b")
+
+
+class TestCondition:
+    def test_of_mixed_spellings(self):
+        cond = Condition.of("2=1", (3, "<", 1), Atom(1, ">", 2))
+        assert len(cond) == 3
+
+    def test_parse(self):
+        cond = Condition.parse("2=1, 3<1")
+        assert cond.atoms == (Atom(2, "=", 1), Atom(3, "<", 1))
+
+    def test_parse_empty_is_true(self):
+        assert Condition.parse("") == TRUE
+        assert not TRUE
+
+    def test_is_equi(self):
+        assert Condition.parse("2=1,1=1").is_equi()
+        assert not Condition.parse("2=1,3<1").is_equi()
+        assert TRUE.is_equi()
+
+    def test_by_op_decomposition(self):
+        # Example 21's θ= plus extras.
+        cond = Condition.parse("3=1,2<2,1!=1")
+        assert cond.pairs_by_op("=") == frozenset({(3, 1)})
+        assert cond.pairs_by_op("<") == frozenset({(2, 2)})
+        assert cond.pairs_by_op("!=") == frozenset({(1, 1)})
+        assert cond.pairs_by_op(">") == frozenset()
+
+    def test_eq_pairs(self):
+        assert Condition.parse("3=1").eq_pairs() == frozenset({(3, 1)})
+
+    def test_holds_conjunction(self):
+        cond = Condition.parse("1=1,2<1")
+        assert cond.holds((5, 0), (5,))
+        assert not cond.holds((5, 9), (5,))
+        assert not cond.holds((4, 0), (5,))
+
+    def test_true_holds_everything(self):
+        assert TRUE.holds((1,), (2,))
+
+    def test_mirrored(self):
+        cond = Condition.parse("2=1,3<1")
+        assert cond.mirrored() == Condition.parse("1=2,1>3")
+
+    def test_normalized_dedups_and_sorts(self):
+        cond = Condition.parse("3<1,2=1,3<1")
+        assert cond.normalized().atoms == (Atom(2, "=", 1), Atom(3, "<", 1))
+
+    def test_validate(self):
+        cond = Condition.parse("2=1")
+        cond.validate(2, 1)
+        with pytest.raises(PositionError):
+            cond.validate(1, 1)
+        with pytest.raises(PositionError):
+            Condition.parse("1=3").validate(1, 2)
+
+    def test_max_positions(self):
+        cond = Condition.parse("2=1,3<5")
+        assert cond.max_left() == 3
+        assert cond.max_right() == 5
+        assert TRUE.max_left() == 0
+
+    def test_coercion_helper(self):
+        assert condition(None) == TRUE
+        assert condition("2=1") == Condition.parse("2=1")
+        assert condition([("2=1")]) == Condition.parse("2=1")
+        same = Condition.parse("1<1")
+        assert condition(same) is same
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(1, 3),
+            st.sampled_from(["=", "!=", "<", ">"]),
+            st.integers(1, 3),
+        ),
+        max_size=4,
+    )
+)
+def test_mirrored_swaps_operands(atom_specs):
+    cond = Condition.of(*atom_specs)
+    left = (1, 2, 3)
+    right = (2, 3, 1)
+    assert cond.holds(left, right) == cond.mirrored().holds(right, left)

@@ -1,0 +1,148 @@
+"""Tests for the evaluator against the brute-force reference oracle."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.algebra.ast import rel
+from repro.algebra.conditions import Condition
+from repro.algebra.evaluator import (
+    evaluate,
+    join_relations,
+    semijoin_relations,
+)
+from repro.algebra.reference import evaluate_reference
+from repro.data.database import database
+from repro.errors import ArityError
+from tests.strategies import databases, expressions
+
+R = rel("R", 2)
+S = rel("S", 1)
+
+
+@pytest.fixture
+def db():
+    return database(
+        {"R": 2, "S": 1, "T": 3},
+        R=[(1, 2), (1, 3), (2, 2), (4, 1)],
+        S=[(2,), (3,)],
+        T=[(1, 2, 3), (2, 2, 2)],
+    )
+
+
+class TestOperators:
+    def test_rel(self, db):
+        assert evaluate(R, db) == db["R"]
+
+    def test_rel_arity_mismatch(self, db):
+        with pytest.raises(ArityError):
+            evaluate(rel("R", 3), db)
+
+    def test_union(self, db):
+        expr = R.project(1).union(S)
+        assert evaluate(expr, db) == frozenset({(1,), (2,), (3,), (4,)})
+
+    def test_difference(self, db):
+        expr = R.project(1).minus(S)
+        assert evaluate(expr, db) == frozenset({(1,), (4,)})
+
+    def test_projection_reorders_and_repeats(self, db):
+        expr = R.project(2, 1, 2)
+        assert (2, 1, 2) in evaluate(expr, db)
+
+    def test_empty_projection_nonempty_child(self, db):
+        assert evaluate(R.project(), db) == frozenset({()})
+
+    def test_empty_projection_empty_child(self):
+        empty = database({"R": 2})
+        assert evaluate(R.project(), empty) == frozenset()
+
+    def test_selection_eq(self, db):
+        expr = rel("T", 3).select_eq(1, 2)
+        assert evaluate(expr, db) == frozenset({(2, 2, 2)})
+
+    def test_selection_lt(self, db):
+        expr = R.select_lt(1, 2)
+        assert evaluate(expr, db) == frozenset({(1, 2), (1, 3)})
+
+    def test_tag(self, db):
+        expr = S.tag(9)
+        assert evaluate(expr, db) == frozenset({(2, 9), (3, 9)})
+
+    def test_equijoin(self, db):
+        expr = R.join(S, "2=1")
+        assert evaluate(expr, db) == frozenset(
+            {(1, 2, 2), (1, 3, 3), (2, 2, 2)}
+        )
+
+    def test_cartesian(self, db):
+        assert len(evaluate(R.cartesian(S), db)) == 8
+
+    def test_theta_join_with_order(self, db):
+        expr = S.join(S, "1<1")
+        assert evaluate(expr, db) == frozenset({(2, 3)})
+
+    def test_theta_join_neq(self, db):
+        expr = S.join(S, "1!=1")
+        assert evaluate(expr, db) == frozenset({(2, 3), (3, 2)})
+
+    def test_mixed_condition(self, db):
+        # Join R with R: equal first column AND second strictly less.
+        expr = R.join(R, "1=1,2<2")
+        assert evaluate(expr, db) == frozenset({(1, 2, 1, 3)})
+
+    def test_semijoin(self, db):
+        expr = R.semijoin(S, "2=1")
+        assert evaluate(expr, db) == frozenset({(1, 2), (1, 3), (2, 2)})
+
+    def test_semijoin_with_order(self, db):
+        # R rows whose 2nd column is below some S value.
+        expr = R.semijoin(S, "2<1")
+        assert evaluate(expr, db) == frozenset({(1, 2), (2, 2), (4, 1)})
+
+    def test_semijoin_empty_condition(self, db):
+        assert evaluate(R.semijoin(S), db) == db["R"]
+        empty_s = database({"R": 2, "S": 1}, R=[(1, 2)])
+        assert evaluate(R.semijoin(S), empty_s) == frozenset()
+
+    def test_memo_shares_subexpressions(self, db):
+        shared = R.join(S, "2=1")
+        expr = shared.union(shared)
+        memo = {}
+        evaluate(expr, db, memo)
+        assert shared in memo
+
+
+class TestJoinKernels:
+    def test_join_relations_no_eq_atoms(self):
+        left = frozenset({(1,), (2,)})
+        right = frozenset({(1,), (3,)})
+        out = join_relations(left, right, Condition.parse("1<1"))
+        assert out == frozenset({(1, 3), (2, 3)})
+
+    def test_semijoin_relations_no_eq_atoms(self):
+        left = frozenset({(1,), (2,)})
+        right = frozenset({(2,)})
+        out = semijoin_relations(left, right, Condition.parse("1<1"))
+        assert out == frozenset({(1,)})
+
+    def test_join_relations_mixed(self):
+        left = frozenset({(1, 5), (1, 9)})
+        right = frozenset({(1, 7)})
+        cond = Condition.parse("1=1,2<2")
+        assert join_relations(left, right, cond) == frozenset(
+            {(1, 5, 1, 7)}
+        )
+
+
+@settings(max_examples=150, deadline=None)
+@given(expressions(max_depth=4), databases())
+def test_evaluator_matches_reference(expr, db):
+    """The indexed evaluator agrees with the brute-force oracle."""
+    assert evaluate(expr, db) == evaluate_reference(expr, db)
+
+
+@settings(max_examples=60, deadline=None)
+@given(expressions(max_depth=3), databases())
+def test_output_arity_is_expression_arity(expr, db):
+    for row in evaluate(expr, db):
+        assert len(row) == expr.arity

@@ -1,0 +1,95 @@
+"""Tests for database serialization (JSON and CSV)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+
+from repro.data.database import database
+from repro.data.schema import Schema
+from repro.errors import SchemaError
+from repro.io.csv_io import load_database_csv, save_database_csv
+from repro.io.json_io import (
+    database_from_json,
+    database_to_json,
+    load_database,
+    save_database,
+)
+from tests.strategies import databases
+
+
+class TestJson:
+    def test_round_trip(self):
+        db = database(
+            {"R": 2, "S": 1}, R=[(1, "x"), (2, "y")], S=[("z",)]
+        )
+        assert database_from_json(database_to_json(db)) == db
+
+    def test_fraction_round_trip(self):
+        db = database({"R": 1}, R=[(Fraction(1, 3),), (2,)])
+        restored = database_from_json(database_to_json(db))
+        assert restored == db
+        assert Fraction(1, 3) in {v for (v,) in restored["R"]}
+
+    def test_file_round_trip(self, tmp_path):
+        db = database({"R": 2}, R=[(1, 2)])
+        path = tmp_path / "db.json"
+        save_database(db, path)
+        assert load_database(path) == db
+
+    def test_deterministic_output(self):
+        db = database({"R": 2}, R=[(3, 4), (1, 2)])
+        assert database_to_json(db) == database_to_json(db)
+
+    def test_invalid_json(self):
+        with pytest.raises(SchemaError):
+            database_from_json("not json")
+
+    def test_missing_schema(self):
+        with pytest.raises(SchemaError):
+            database_from_json('{"relations": {}}')
+
+    def test_float_rejected(self):
+        with pytest.raises(SchemaError):
+            database_from_json(
+                '{"schema": {"R": 1}, "relations": {"R": [[1.5]]}}'
+            )
+
+    def test_bad_fraction_encoding(self):
+        with pytest.raises(SchemaError):
+            database_from_json(
+                '{"schema": {"R": 1}, '
+                '"relations": {"R": [[{"fraction": [1]}]]}}'
+            )
+
+
+class TestCsv:
+    def test_round_trip(self, tmp_path):
+        db = database(
+            {"R": 2, "S": 1}, R=[(1, 2), (3, 4)], S=[("x",)]
+        )
+        save_database_csv(db, tmp_path / "db")
+        restored = load_database_csv(db.schema, tmp_path / "db")
+        assert restored == db
+
+    def test_missing_file_means_empty_relation(self, tmp_path):
+        (tmp_path / "db").mkdir()
+        schema = Schema({"R": 2})
+        assert load_database_csv(schema, tmp_path / "db").is_empty()
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(SchemaError):
+            load_database_csv(Schema({"R": 1}), tmp_path / "nope")
+
+    def test_custom_parser(self, tmp_path):
+        db = database({"R": 1}, R=[(1,), (2,)])
+        save_database_csv(db, tmp_path / "db")
+        as_strings = load_database_csv(
+            db.schema, tmp_path / "db", parser=str
+        )
+        assert ("1",) in as_strings["R"]
+
+
+@given(databases(max_rows=5))
+def test_json_round_trip_property(db):
+    assert database_from_json(database_to_json(db)) == db

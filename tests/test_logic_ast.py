@@ -1,0 +1,169 @@
+"""Tests for GF formulas (:mod:`repro.logic.ast`)."""
+
+import pytest
+
+from repro.errors import FragmentError, SchemaError
+from repro.logic.ast import (
+    And,
+    Compare,
+    Const,
+    GuardedExists,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    RelAtom,
+    Var,
+    atom,
+    desugar,
+    eq,
+    exists,
+    lt,
+    substitute,
+    term,
+)
+from repro.logic.printer import formula_to_text
+
+
+class TestTerms:
+    def test_term_coercion(self):
+        assert term("x") == Var("x")
+        assert term(5) == Const(5)
+        assert term(Var("y")) == Var("y")
+
+    def test_var_requires_name(self):
+        with pytest.raises(SchemaError):
+            Var("")
+
+    def test_const_rejects_bool(self):
+        with pytest.raises(SchemaError):
+            Const(True)
+
+    def test_term_str(self):
+        assert str(Var("x")) == "x"
+        assert str(Const(5)) == "5"
+        assert str(Const("flu")) == "'flu'"
+
+
+class TestAtoms:
+    def test_atom_builder(self):
+        a = atom("R", "x", 5, "y")
+        assert a.terms == (Var("x"), Const(5), Var("y"))
+        assert a.arity == 3
+
+    def test_atom_free_variables(self):
+        assert atom("R", "x", 5, "x").free_variables() == {"x"}
+
+    def test_atom_constants(self):
+        assert atom("R", "x", 5).constants() == {5}
+
+    def test_nullary_atom_rejected(self):
+        with pytest.raises(SchemaError):
+            RelAtom("R", ())
+
+    def test_compare_ops_restricted(self):
+        with pytest.raises(FragmentError):
+            Compare(">", Var("x"), Var("y"))
+        with pytest.raises(FragmentError):
+            Compare("!=", Var("x"), Var("y"))
+
+    def test_eq_lt_builders(self):
+        assert eq("x", "y") == Compare("=", Var("x"), Var("y"))
+        assert lt("x", 5) == Compare("<", Var("x"), Const(5))
+
+
+class TestGuardedness:
+    def test_valid_guarded_exists(self):
+        phi = GuardedExists(("y",), atom("R", "x", "y"), eq("x", "y"))
+        assert phi.free_variables() == {"x"}
+
+    def test_body_variable_not_in_guard_rejected(self):
+        with pytest.raises(FragmentError):
+            GuardedExists(("y",), atom("R", "x", "y"), eq("x", "z"))
+
+    def test_bound_variable_not_in_guard_rejected(self):
+        with pytest.raises(FragmentError):
+            GuardedExists(("z",), atom("R", "x", "y"), eq("x", "y"))
+
+    def test_repeated_bound_variables_rejected(self):
+        with pytest.raises(FragmentError):
+            GuardedExists(("y", "y"), atom("R", "y", "y"), eq("y", "y"))
+
+    def test_guard_must_be_relation_atom(self):
+        with pytest.raises(FragmentError):
+            GuardedExists(("y",), eq("y", "y"), eq("y", "y"))
+
+    def test_exists_helper_default_body(self):
+        phi = exists("y", atom("R", "x", "y"))
+        assert phi.free_variables() == {"x"}
+
+    def test_example7_formula_builds(self):
+        """Example 7: drinkers visiting lousy bars."""
+        phi = exists(
+            "y",
+            atom("Visits", "x", "y"),
+            Not(
+                exists(
+                    "z",
+                    atom("Serves", "y", "z"),
+                    exists("w", atom("Likes", "w", "z")),
+                )
+            ),
+        )
+        assert phi.free_variables() == {"x"}
+        assert "Visits" in formula_to_text(phi)
+
+    def test_free_variables_through_connectives(self):
+        phi = And(atom("R", "x", "y"), Or(eq("x", 5), Not(eq("y", "z"))))
+        assert phi.free_variables() == {"x", "y", "z"}
+        assert phi.constants() == {5}
+
+    def test_size_and_subformulas(self):
+        phi = And(eq("x", "y"), Not(eq("x", "y")))
+        assert phi.size() == 4
+        assert len(list(phi.subformulas())) == 4
+
+
+class TestSubstitution:
+    def test_substitute_free(self):
+        phi = eq("x", "y")
+        out = substitute(phi, {"x": Const(5)})
+        assert out == eq(Const(5), "y")
+
+    def test_substitute_is_simultaneous(self):
+        phi = eq("x", "y")
+        out = substitute(phi, {"x": Var("y"), "y": Var("x")})
+        assert out == eq(Var("y"), Var("x"))
+
+    def test_bound_variables_shadow(self):
+        phi = GuardedExists(("y",), atom("R", "x", "y"), eq("x", "y"))
+        out = substitute(phi, {"y": Const(5), "x": Var("z")})
+        assert isinstance(out, GuardedExists)
+        # y is untouched inside; x is renamed.
+        assert out.body == eq(Var("z"), Var("y"))
+
+    def test_capture_detected(self):
+        phi = GuardedExists(("y",), atom("R", "x", "y"), eq("x", "y"))
+        with pytest.raises(FragmentError):
+            substitute(phi, {"x": Var("y")})
+
+
+class TestDesugar:
+    def test_implies(self):
+        phi = desugar(Implies(eq("x", "x"), eq("x", 5)))
+        assert isinstance(phi, Or)
+        assert isinstance(phi.left, Not)
+
+    def test_iff(self):
+        phi = desugar(Iff(eq("x", "x"), eq("x", 5)))
+        assert isinstance(phi, And)
+
+    def test_nested(self):
+        inner = Implies(eq("x", "x"), eq("x", "x"))
+        phi = desugar(GuardedExists(("x",), atom("S", "x"), inner))
+        assert isinstance(phi, GuardedExists)
+        assert isinstance(phi.body, Or)
+
+    def test_combinator_operators(self):
+        phi = eq("x", "y") & ~eq("x", "y") | eq("y", "x")
+        assert isinstance(phi, Or)

@@ -1,0 +1,125 @@
+"""Tests for GF model checking (:mod:`repro.logic.eval`)."""
+
+import pytest
+
+from repro.data.database import database
+from repro.errors import FragmentError
+from repro.logic.ast import And, Const, Iff, Implies, Not, Or, atom, eq, exists, lt
+from repro.logic.eval import answers, answers_c_stored, satisfies
+
+
+@pytest.fixture
+def db():
+    return database(
+        {"R": 2, "S": 1},
+        R=[(1, 2), (2, 3), (3, 3)],
+        S=[(2,)],
+    )
+
+
+class TestSatisfies:
+    def test_relation_atom(self, db):
+        assert satisfies(db, atom("R", "x", "y"), {"x": 1, "y": 2})
+        assert not satisfies(db, atom("R", "x", "y"), {"x": 2, "y": 1})
+
+    def test_atom_with_constant_term(self, db):
+        assert satisfies(db, atom("R", "x", Const(2)), {"x": 1})
+        assert not satisfies(db, atom("R", "x", Const(9)), {"x": 1})
+
+    def test_atom_with_repeated_variable(self, db):
+        assert satisfies(db, atom("R", "x", "x"), {"x": 3})
+        assert not satisfies(db, atom("R", "x", "x"), {"x": 1})
+
+    def test_comparisons(self, db):
+        assert satisfies(db, eq("x", "y"), {"x": 5, "y": 5})
+        assert satisfies(db, lt("x", "y"), {"x": 1, "y": 5})
+        assert satisfies(db, eq("x", 5), {"x": 5})
+        assert not satisfies(db, lt("x", 1), {"x": 1})
+
+    def test_boolean_connectives(self, db):
+        t = eq("x", "x")
+        f = lt("x", "x")
+        a = {"x": 0}
+        assert satisfies(db, And(t, t), a)
+        assert not satisfies(db, And(t, f), a)
+        assert satisfies(db, Or(f, t), a)
+        assert satisfies(db, Not(f), a)
+        assert satisfies(db, Implies(f, f), a)
+        assert satisfies(db, Iff(t, t), a)
+        assert not satisfies(db, Iff(t, f), a)
+
+    def test_guarded_exists(self, db):
+        # ∃y (R(x, y) ∧ y = 2): only x = 1 works.
+        phi = exists("y", atom("R", "x", "y"), eq("y", 2))
+        assert satisfies(db, phi, {"x": 1})
+        assert not satisfies(db, phi, {"x": 2})
+
+    def test_guarded_exists_binds_multiple(self, db):
+        # ∃x,y (R(x, y) ∧ x < y): witnessed by (1,2) and (2,3).
+        phi = exists(("x", "y"), atom("R", "x", "y"), lt("x", "y"))
+        assert satisfies(db, phi, {})
+
+    def test_repeated_bound_variable_in_guard(self, db):
+        # ∃x (R(x, x)): only (3,3) matches.
+        phi = exists("x", atom("R", "x", "x"), eq("x", 3))
+        assert satisfies(db, phi, {})
+        phi_bad = exists("x", atom("R", "x", "x"), eq("x", 1))
+        assert not satisfies(db, phi_bad, {})
+
+    def test_shadowing(self, db):
+        # Outer x is shadowed by the quantifier.
+        phi = exists("x", atom("S", "x"), eq("x", 2))
+        assert satisfies(db, phi, {"x": 99})
+
+    def test_guard_with_constant(self, db):
+        phi = exists("x", atom("R", "x", Const(3)), eq("x", "x"))
+        assert satisfies(db, phi, {})
+
+    def test_unassigned_free_variable_raises(self, db):
+        with pytest.raises(FragmentError):
+            satisfies(db, eq("x", "y"), {"x": 1})
+
+
+class TestAnswers:
+    def test_answers_unary(self, db):
+        phi = exists("y", atom("R", "x", "y"), eq("y", 3))
+        assert answers(db, phi, ["x"]) == frozenset({(2,), (3,)})
+
+    def test_answers_with_constants_outside_adom(self, db):
+        phi = eq("x", 99)
+        assert answers(db, phi, ["x"], constants=[99]) == frozenset({(99,)})
+        assert answers(db, phi, ["x"]) == frozenset()
+
+    def test_answers_var_order_validation(self, db):
+        with pytest.raises(FragmentError):
+            answers(db, eq("x", "y"), ["x"])
+
+    def test_answers_binary(self, db):
+        phi = atom("R", "x", "y")
+        assert answers(db, phi, ["x", "y"]) == db["R"]
+        assert answers(db, phi, ["y", "x"]) == frozenset(
+            {(b, a) for a, b in db["R"]}
+        )
+
+    def test_answers_c_stored_filters(self, db):
+        # x = y over two variables: brute-force answers include every
+        # diagonal pair over the active domain, C-stored answers only
+        # pairs both of whose values share a stored tuple.
+        phi = eq("x", "y")
+        brute = answers(db, phi, ["x", "y"])
+        stored = answers_c_stored(db, phi, ["x", "y"])
+        assert stored <= brute
+        assert (2, 2) in stored
+        assert (1, 1) in stored
+
+    def test_answers_c_stored_respects_constants(self, db):
+        phi = eq("x", 99)
+        assert answers_c_stored(db, phi, ["x"], constants=[99]) == frozenset(
+            {(99,)}
+        )
+
+    def test_nullary_answers(self, db):
+        phi = exists(("x", "y"), atom("R", "x", "y"), lt("x", "y"))
+        assert answers(db, phi, []) == frozenset({()})
+        phi_false = exists(("x", "y"), atom("R", "x", "y"), lt("y", "x"))
+        assert answers(db, phi_false, []) == frozenset()

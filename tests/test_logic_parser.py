@@ -1,0 +1,201 @@
+"""Tests for the GF formula parser, including printer round-trips."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import FragmentError, ParseError
+from repro.logic.ast import (
+    And,
+    Compare,
+    Const,
+    GuardedExists,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    RelAtom,
+    Var,
+    atom,
+    eq,
+    exists,
+    lt,
+)
+from repro.logic.parser import parse_formula
+from repro.logic.printer import formula_to_text
+
+
+class TestAtoms:
+    def test_relation_atom(self):
+        assert parse_formula("R(x, y)") == atom("R", "x", "y")
+
+    def test_atom_with_constants(self):
+        assert parse_formula("R(x, 5, 'flu')") == RelAtom(
+            "R", (Var("x"), Const(5), Const("flu"))
+        )
+
+    def test_equality(self):
+        assert parse_formula("x = y") == eq("x", "y")
+        assert parse_formula("x = 5") == eq("x", 5)
+
+    def test_less_than(self):
+        assert parse_formula("x < y") == lt("x", "y")
+
+    def test_greater_than_desugars(self):
+        assert parse_formula("x > y") == lt("y", "x")
+
+    def test_string_constant_comparison(self):
+        assert parse_formula("x = 'bar'") == Compare(
+            "=", Var("x"), Const("bar")
+        )
+
+
+class TestConnectives:
+    def test_not(self):
+        assert parse_formula("not S(x)") == Not(atom("S", "x"))
+        assert parse_formula("¬S(x)") == Not(atom("S", "x"))
+        assert parse_formula("!S(x)") == Not(atom("S", "x"))
+
+    def test_and_or(self):
+        assert parse_formula("S(x) and S(y)") == And(
+            atom("S", "x"), atom("S", "y")
+        )
+        assert parse_formula("S(x) ∨ S(y)") == Or(
+            atom("S", "x"), atom("S", "y")
+        )
+
+    def test_precedence_and_binds_tighter(self):
+        phi = parse_formula("S(x) or S(y) and S(z)")
+        assert isinstance(phi, Or)
+        assert isinstance(phi.right, And)
+
+    def test_implies_right_assoc(self):
+        phi = parse_formula("S(x) -> S(y) -> S(z)")
+        assert isinstance(phi, Implies)
+        assert isinstance(phi.right, Implies)
+
+    def test_iff(self):
+        phi = parse_formula("S(x) <-> S(y)")
+        assert isinstance(phi, Iff)
+
+    def test_parens(self):
+        phi = parse_formula("(S(x) or S(y)) and S(z)")
+        assert isinstance(phi, And)
+        assert isinstance(phi.left, Or)
+
+
+class TestQuantifiers:
+    def test_guarded_exists(self):
+        phi = parse_formula("exists y (R(x, y) and S(y))")
+        assert phi == exists("y", atom("R", "x", "y"), atom("S", "y"))
+
+    def test_unicode_exists(self):
+        phi = parse_formula("∃y (R(x,y) ∧ S(y))")
+        assert phi == exists("y", atom("R", "x", "y"), atom("S", "y"))
+
+    def test_multiple_bound_variables(self):
+        phi = parse_formula("exists x, y (R(x, y) and x < y)")
+        assert isinstance(phi, GuardedExists)
+        assert phi.bound == ("x", "y")
+        assert phi.free_variables() == frozenset()
+
+    def test_bare_guard(self):
+        phi = parse_formula("exists y R(x, y)")
+        assert isinstance(phi, GuardedExists)
+        assert phi.free_variables() == {"x"}
+
+    def test_unguarded_rejected(self):
+        with pytest.raises(FragmentError):
+            parse_formula("exists y (R(x, y) and S(z))")
+
+    def test_example7(self):
+        text = (
+            "∃y (Visits(x,y) ∧ ¬∃z (Serves(y,z) ∧ ∃w Likes(w,z)))"
+        )
+        phi = parse_formula(text)
+        assert phi.free_variables() == {"x"}
+        assert isinstance(phi, GuardedExists)
+        assert isinstance(phi.body, Not)
+
+
+class TestErrors:
+    def test_empty(self):
+        with pytest.raises(ParseError):
+            parse_formula("")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_formula("S(x) S(y)")
+
+    def test_unclosed_paren(self):
+        with pytest.raises(ParseError):
+            parse_formula("(S(x)")
+
+    def test_missing_comparison(self):
+        with pytest.raises(ParseError):
+            parse_formula("x y")
+
+    def test_bad_character(self):
+        with pytest.raises(ParseError):
+            parse_formula("S(x) @ S(y)")
+
+
+# ----------------------------------------------------------------------
+# Printer round trips
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def formulas(draw, depth: int = 3):
+    variables = ("x", "y", "z")
+    if depth <= 1:
+        kind = draw(st.sampled_from(["atom", "eq", "lt"]))
+        if kind == "atom":
+            return atom(
+                draw(st.sampled_from(["R", "S"])),
+                draw(st.sampled_from(variables)),
+                draw(st.sampled_from(variables)),
+            )
+        a = draw(st.sampled_from(variables))
+        b = draw(
+            st.one_of(
+                st.sampled_from(variables).map(Var),
+                st.integers(0, 5).map(Const),
+            )
+        )
+        return eq(a, b) if kind == "eq" else Compare("<", Var(a), b)
+    kind = draw(
+        st.sampled_from(["not", "and", "or", "implies", "iff", "exists"])
+    )
+    if kind == "not":
+        return Not(draw(formulas(depth=depth - 1)))
+    if kind == "exists":
+        bound = draw(st.sampled_from(variables))
+        other = draw(st.sampled_from(variables))
+        guard = atom("R", bound, other)
+        body_var = draw(st.sampled_from((bound, other)))
+        return GuardedExists((bound,), guard, eq(body_var, body_var))
+    left = draw(formulas(depth=depth - 1))
+    right = draw(formulas(depth=depth - 1))
+    node = {"and": And, "or": Or, "implies": Implies, "iff": Iff}[kind]
+    return node(left, right)
+
+
+@settings(max_examples=150, deadline=None)
+@given(formulas())
+def test_parse_print_roundtrip(phi):
+    assert parse_formula(formula_to_text(phi)) == phi
+
+
+def test_roundtrip_example7():
+    phi = exists(
+        "y",
+        atom("Visits", "x", "y"),
+        Not(
+            exists(
+                "z",
+                atom("Serves", "y", "z"),
+                exists("w", atom("Likes", "w", "z")),
+            )
+        ),
+    )
+    assert parse_formula(formula_to_text(phi)) == phi

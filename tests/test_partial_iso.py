@@ -1,0 +1,121 @@
+"""Tests for C-partial isomorphisms (:mod:`repro.bisim.partial_iso`)."""
+
+import pytest
+
+from repro.bisim.partial_iso import (
+    PartialIso,
+    is_c_partial_isomorphism,
+    tuple_map,
+)
+from repro.data.database import database
+from repro.errors import SchemaError
+
+
+class TestPartialIso:
+    def test_from_tuples(self):
+        f = PartialIso.from_tuples((1, 2), (6, 7))
+        assert f(1) == 6
+        assert f(2) == 7
+        assert f.domain() == {1, 2}
+        assert f.image() == {6, 7}
+
+    def test_from_tuples_with_repeats(self):
+        f = PartialIso.from_tuples((1, 1, 2), (6, 6, 7))
+        assert len(f) == 2
+
+    def test_from_tuples_inconsistent(self):
+        with pytest.raises(SchemaError):
+            PartialIso.from_tuples((1, 1), (6, 7))
+        assert tuple_map((1, 1), (6, 7)) is None
+
+    def test_from_tuples_arity_mismatch(self):
+        with pytest.raises(SchemaError):
+            PartialIso.from_tuples((1,), (6, 7))
+
+    def test_duplicate_sources_rejected(self):
+        with pytest.raises(SchemaError):
+            PartialIso(((1, 2), (1, 3)))
+
+    def test_apply_tuple(self):
+        f = PartialIso.from_tuples((1, 2), (6, 7))
+        assert f.apply_tuple((2, 1, 2)) == (7, 6, 7)
+
+    def test_bijective_and_inverse(self):
+        f = PartialIso.from_tuples((1, 2), (6, 7))
+        assert f.is_bijective()
+        assert f.inverse()(6) == 1
+        g = PartialIso(((1, 5), (2, 5)))
+        assert not g.is_bijective()
+        with pytest.raises(SchemaError):
+            g.inverse()
+
+    def test_agrees_with(self):
+        f = PartialIso.from_tuples((1, 2), (6, 7))
+        g = PartialIso.from_tuples((2, 3), (7, 8))
+        assert f.agrees_with(g, {2})
+        assert f.agrees_with(g, set())
+        assert not f.agrees_with(g, {1})  # g undefined at 1
+
+    def test_restrict(self):
+        f = PartialIso.from_tuples((1, 2), (6, 7))
+        assert f.restrict({1}).pairs == ((1, 6),)
+
+    def test_structural_equality(self):
+        assert PartialIso(((2, 7), (1, 6))) == PartialIso(((1, 6), (2, 7)))
+
+
+class TestIsCPartialIsomorphism:
+    def setup_method(self):
+        self.a = database({"R": 2, "S": 1}, R=[(1, 2)], S=[(1,)])
+        self.b = database({"R": 2, "S": 1}, R=[(6, 7)], S=[(6,)])
+
+    def test_valid(self):
+        f = PartialIso.from_tuples((1, 2), (6, 7))
+        assert is_c_partial_isomorphism(f, self.a, self.b)
+
+    def test_non_bijective_fails(self):
+        f = PartialIso(((1, 6), (2, 6)))
+        assert not is_c_partial_isomorphism(f, self.a, self.b)
+
+    def test_relation_preservation_forward(self):
+        # Map R-tuple onto a non-tuple.
+        b = database({"R": 2, "S": 1}, R=[(7, 6)], S=[(6,)])
+        f = PartialIso.from_tuples((1, 2), (6, 7))
+        assert not is_c_partial_isomorphism(f, self.a, b)
+
+    def test_relation_preservation_backward(self):
+        # Image has an S-fact the source lacks.
+        b = database({"R": 2, "S": 1}, R=[(6, 7)], S=[(6,), (7,)])
+        f = PartialIso.from_tuples((1, 2), (6, 7))
+        assert not is_c_partial_isomorphism(f, self.a, b)
+
+    def test_order_preservation(self):
+        b = database({"R": 2, "S": 1}, R=[(7, 6)], S=[(7,)])
+        f = PartialIso(((1, 7), (2, 6)))
+        # Relations are preserved (R-tuple maps to R-tuple) but the
+        # order flips: 1 < 2 while 7 > 6.
+        assert not is_c_partial_isomorphism(f, self.a, b)
+
+    def test_constants_must_be_fixed(self):
+        f = PartialIso.from_tuples((1, 2), (6, 7))
+        assert is_c_partial_isomorphism(f, self.a, self.b, constants=[99])
+        assert not is_c_partial_isomorphism(f, self.a, self.b, constants=[1])
+        # A map fixing the constant is fine.
+        a = database({"R": 2, "S": 1}, R=[(1, 2)], S=[(1,)])
+        b = database({"R": 2, "S": 1}, R=[(1, 7)], S=[(1,)])
+        g = PartialIso.from_tuples((1, 2), (1, 7))
+        assert is_c_partial_isomorphism(g, a, b, constants=[1])
+
+    def test_schema_mismatch_raises(self):
+        other = database({"Q": 1})
+        with pytest.raises(SchemaError):
+            is_c_partial_isomorphism(
+                PartialIso(((1, 1),)), self.a, other
+            )
+
+    def test_tuples_with_repeated_values(self):
+        a = database({"R": 2}, R=[(1, 1)])
+        b = database({"R": 2}, R=[(6, 7)])
+        f = PartialIso(((1, 6),))
+        # (1,1) ∈ A(R) but (6,6) ∉ B(R).
+        assert not is_c_partial_isomorphism(f, a, b)

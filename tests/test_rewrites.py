@@ -1,0 +1,123 @@
+"""Tests for semantics-preserving rewrites (:mod:`repro.algebra.rewrites`)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.algebra.ast import Join, Semijoin, is_ra, rel
+from repro.algebra.evaluator import evaluate
+from repro.algebra.rewrites import (
+    eliminate_semijoins,
+    linear_semijoin_embedding,
+    semijoin_to_join,
+    simplify,
+)
+from repro.algebra.trace import trace
+from repro.data.database import database
+from repro.errors import FragmentError
+from tests.strategies import databases, expressions
+
+R = rel("R", 2)
+S = rel("S", 1)
+
+
+@pytest.fixture
+def db():
+    return database(
+        {"R": 2, "S": 1, "T": 3},
+        R=[(1, 2), (1, 3), (2, 2), (4, 1)],
+        S=[(2,), (3,)],
+        T=[(1, 2, 3)],
+    )
+
+
+class TestSemijoinToJoin:
+    def test_defining_equation(self, db):
+        node = Semijoin(R, S, "2=1")
+        assert evaluate(semijoin_to_join(node), db) == evaluate(node, db)
+
+    def test_order_condition_supported(self, db):
+        node = Semijoin(R, S, "2<1")
+        assert evaluate(semijoin_to_join(node), db) == evaluate(node, db)
+
+
+class TestLinearEmbedding:
+    def test_paper_example_shape(self):
+        # R ⋉_{2=1} S = π_{1,2}(R ⋈_{2=1} π_1(S)); here S is unary so
+        # π_1(S) = S up to the explicit projection node.
+        node = Semijoin(R, S, "2=1")
+        embedded = linear_semijoin_embedding(node)
+        assert is_ra(embedded)
+
+    def test_equivalence(self, db):
+        node = Semijoin(R, S, "2=1")
+        assert evaluate(linear_semijoin_embedding(node), db) == evaluate(
+            node, db
+        )
+
+    def test_linearity_of_intermediates(self, db):
+        """The embedding's join output never exceeds |E1|."""
+        node = Semijoin(R, S, "2=1")
+        embedded = linear_semijoin_embedding(node)
+        t = trace(embedded, db)
+        join_node = next(
+            sub for sub in t.results if isinstance(sub, Join)
+        )
+        assert t.cardinality(join_node) <= len(evaluate(R, db))
+
+    def test_non_equi_rejected(self):
+        with pytest.raises(FragmentError):
+            linear_semijoin_embedding(Semijoin(R, S, "2<1"))
+
+    def test_empty_condition(self, db):
+        node = Semijoin(R, S)
+        assert evaluate(linear_semijoin_embedding(node), db) == evaluate(
+            node, db
+        )
+
+    def test_empty_condition_empty_right(self):
+        db = database({"R": 2, "S": 1}, R=[(1, 2)])
+        node = Semijoin(R, S)
+        assert evaluate(linear_semijoin_embedding(node), db) == frozenset()
+
+    def test_multi_column_condition(self, db):
+        node = Semijoin(rel("T", 3), R, "1=1,2=2")
+        assert evaluate(linear_semijoin_embedding(node), db) == evaluate(
+            node, db
+        )
+
+    def test_repeated_right_column(self, db):
+        node = Semijoin(R, rel("T", 3), "1=2,2=2")
+        assert evaluate(linear_semijoin_embedding(node), db) == evaluate(
+            node, db
+        )
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    expressions(max_depth=4, allow_join=False, equi_only=True, allow_order=False),
+    databases(),
+)
+def test_eliminate_semijoins_linear_preserves_semantics(expr, db):
+    rewritten = eliminate_semijoins(expr, linear=True)
+    assert is_ra(rewritten)
+    assert evaluate(rewritten, db) == evaluate(expr, db)
+
+
+@settings(max_examples=80, deadline=None)
+@given(expressions(max_depth=4), databases())
+def test_eliminate_semijoins_general_preserves_semantics(expr, db):
+    rewritten = eliminate_semijoins(expr, linear=False)
+    assert is_ra(rewritten)
+    assert evaluate(rewritten, db) == evaluate(expr, db)
+
+
+@settings(max_examples=80, deadline=None)
+@given(expressions(max_depth=4), databases())
+def test_simplify_preserves_semantics(expr, db):
+    assert evaluate(simplify(expr), db) == evaluate(expr, db)
+
+
+@settings(max_examples=50, deadline=None)
+@given(expressions(max_depth=4))
+def test_simplify_never_grows(expr):
+    assert simplify(expr).size() <= expr.size()

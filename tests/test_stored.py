@@ -1,0 +1,119 @@
+"""Tests for C-stored tuples (Definition 4, Fig. 2)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.data.database import database
+from repro.data.stored import (
+    c_stored_tuples,
+    count_c_stored_tuples,
+    is_c_stored,
+    is_c_stored_by_definition,
+    residue,
+)
+from tests.strategies import databases
+
+
+def fig2_database():
+    """The database of Fig. 2: R, S ternary, T binary."""
+    return database(
+        {"R": 3, "S": 3, "T": 2},
+        R=[("a", "b", "c"), ("d", "e", "f")],
+        S=[("d", "a", "b")],
+        T=[("e", "a"), ("f", "c")],
+    )
+
+
+class TestFig2Examples:
+    """Example 5 of the paper, verbatim."""
+
+    def setup_method(self):
+        self.db = fig2_database()
+        self.constants = {"a"}
+
+    def test_bc_is_stored(self):
+        # (b, c) is in π2,3(D(R)).
+        assert is_c_stored(("b", "c"), self.db, self.constants)
+
+    def test_af_is_stored(self):
+        # Deleting 'a' from (a, f) leaves (f), which is in π1(D(T)).
+        assert is_c_stored(("a", "f"), self.db, self.constants)
+
+    def test_ec_is_not_stored(self):
+        assert not is_c_stored(("e", "c"), self.db, self.constants)
+
+    def test_g_is_not_stored(self):
+        assert not is_c_stored(("g",), self.db, self.constants)
+
+
+class TestResidue:
+    def test_deletes_constants(self):
+        assert residue(("a", "f", "a"), {"a"}) == ("f",)
+
+    def test_preserves_order(self):
+        assert residue((1, 2, 3, 2), {2}) == (1, 3)
+
+    def test_empty_constants(self):
+        assert residue((1, 2), set()) == (1, 2)
+
+
+class TestEdgeCases:
+    def test_all_constant_tuple_stored_iff_db_nonempty(self):
+        db = fig2_database()
+        assert is_c_stored(("a", "a"), db, {"a"})
+        empty = database({"R": 1})
+        assert not is_c_stored((), empty, set())
+
+    def test_empty_tuple_stored_in_nonempty_db(self):
+        assert is_c_stored((), fig2_database(), set())
+
+    def test_reordered_and_repeated_values_are_stored(self):
+        db = database({"R": 2}, R=[(1, 2)])
+        # (2, 1, 2) = π2,1,2 of the stored tuple.
+        assert is_c_stored((2, 1, 2), db, set())
+
+    def test_values_from_two_tuples_are_not_stored(self):
+        db = database({"R": 2}, R=[(1, 2), (3, 4)])
+        assert not is_c_stored((1, 4), db, set())
+
+
+class TestEnumeration:
+    def test_arity_zero(self):
+        assert list(c_stored_tuples(fig2_database(), set(), 0)) == [()]
+        assert list(c_stored_tuples(database({"R": 1}), set(), 0)) == []
+
+    def test_enumeration_is_complete_and_sound(self):
+        db = database({"R": 2}, R=[(1, 2)])
+        found = set(c_stored_tuples(db, {9}, 2))
+        # Every pair over {1, 2, 9}.
+        expected = {
+            (a, b) for a in (1, 2, 9) for b in (1, 2, 9)
+        }
+        assert found == expected
+
+    def test_count_matches_enumeration(self):
+        db = fig2_database()
+        assert count_c_stored_tuples(db, {"a"}, 2) == len(
+            set(c_stored_tuples(db, {"a"}, 2))
+        )
+
+
+@settings(max_examples=50)
+@given(databases(max_rows=3), st.frozensets(st.integers(0, 7), max_size=2))
+def test_fast_check_agrees_with_definition(db, constants):
+    """The set-containment shortcut equals the literal Definition 4."""
+    for row in c_stored_tuples(db, constants, 2):
+        assert is_c_stored(row, db, constants) == is_c_stored_by_definition(
+            row, db, constants
+        )
+    # Also check some tuples that are likely NOT stored.
+    for probe in [(97, 98), (0, 99)]:
+        assert is_c_stored(probe, db, constants) == is_c_stored_by_definition(
+            probe, db, constants
+        )
+
+
+@settings(max_examples=30)
+@given(databases(max_rows=3), st.frozensets(st.integers(0, 7), max_size=2))
+def test_enumeration_members_are_stored(db, constants):
+    for row in c_stored_tuples(db, constants, 2):
+        assert is_c_stored(row, db, constants)

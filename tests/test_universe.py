@@ -1,0 +1,209 @@
+"""Tests for :mod:`repro.data.universe`."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.data.universe import (
+    INTEGERS,
+    RATIONALS,
+    STRINGS,
+    universe_for,
+)
+from repro.errors import UniverseError
+
+
+class TestMembership:
+    def test_integers_accept_ints(self):
+        assert 5 in INTEGERS
+        assert -3 in INTEGERS
+
+    def test_integers_reject_bool_and_str(self):
+        assert True not in INTEGERS
+        assert "a" not in INTEGERS
+        assert Fraction(1, 2) not in INTEGERS
+
+    def test_rationals_accept_ints_and_fractions(self):
+        assert 5 in RATIONALS
+        assert Fraction(1, 2) in RATIONALS
+        assert "a" not in RATIONALS
+
+    def test_strings_accept_only_str(self):
+        assert "bar" in STRINGS
+        assert 5 not in STRINGS
+
+    def test_validate_raises_on_foreign_value(self):
+        with pytest.raises(UniverseError):
+            INTEGERS.validate("x")
+
+    def test_validate_returns_value(self):
+        assert INTEGERS.validate(7) == 7
+
+
+class TestIntervals:
+    def test_integer_intervals_are_finite(self):
+        assert INTEGERS.interval_is_finite(2, 5)
+        assert INTEGERS.interval_values(2, 5) == (2, 3, 4, 5)
+
+    def test_rational_proper_interval_is_infinite(self):
+        assert not RATIONALS.interval_is_finite(2, 5)
+        with pytest.raises(UniverseError):
+            RATIONALS.interval_values(2, 5)
+
+    def test_rational_degenerate_interval(self):
+        assert RATIONALS.interval_is_finite(3, 3)
+        assert RATIONALS.interval_values(3, 3) == (3,)
+
+    def test_excluded_by_constants_integers(self):
+        # Example 23: C = {2, 5} over Z excludes C and all of [2, 5].
+        assert INTEGERS.excluded_by_constants([2, 5]) == frozenset(
+            {2, 3, 4, 5}
+        )
+
+    def test_excluded_by_constants_rationals(self):
+        assert RATIONALS.excluded_by_constants([2, 5]) == frozenset({2, 5})
+
+    def test_excluded_by_constants_empty(self):
+        assert INTEGERS.excluded_by_constants([]) == frozenset()
+
+    def test_excluded_three_constants(self):
+        assert INTEGERS.excluded_by_constants([1, 3, 10]) == frozenset(
+            {1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+        )
+
+
+class TestFreshness:
+    def test_integer_fresh_between(self):
+        value = INTEGERS.fresh_between(2, 9)
+        assert 2 < value < 9
+
+    def test_integer_fresh_between_empty_gap(self):
+        with pytest.raises(UniverseError):
+            INTEGERS.fresh_between(2, 3)
+
+    def test_rational_fresh_between_always_works(self):
+        value = RATIONALS.fresh_between(2, 3)
+        assert 2 < value < 3
+
+    @given(st.integers(-50, 50), st.integers(-50, 50))
+    def test_rational_density(self, a, b):
+        low, high = sorted((a, b))
+        if low == high:
+            return
+        mid = RATIONALS.fresh_between(low, high)
+        assert low < mid < high
+
+    def test_string_fresh_between_non_prefix(self):
+        value = STRINGS.fresh_between("apple", "banana")
+        assert "apple" < value < "banana"
+
+    def test_string_fresh_between_prefix(self):
+        value = STRINGS.fresh_between("bar", "bartender")
+        assert "bar" < value < "bartender"
+
+    @given(
+        st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=122), max_size=6),
+        st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=122), max_size=6),
+    )
+    def test_string_density_printable(self, a, b):
+        low, high = sorted((a, b))
+        if low == high:
+            return
+        mid = STRINGS.fresh_between(low, high)
+        assert low < mid < high
+
+    def test_fresh_above_below(self):
+        assert INTEGERS.fresh_above(3) > 3
+        assert INTEGERS.fresh_below(3) < 3
+        assert RATIONALS.fresh_above(3) > 3
+        assert STRINGS.fresh_above("z") > "z"
+
+
+class TestMakeRoom:
+    def test_integer_room_in_existing_gap(self):
+        plan = INTEGERS.make_room([1, 10], 1, 3)
+        assert plan.is_identity
+        assert plan.fresh == (2, 3, 4)
+
+    def test_integer_room_requires_translation(self):
+        plan = INTEGERS.make_room([1, 2, 3], 1, 2)
+        assert not plan.is_identity
+        # Everything above the anchor shifts up; order is preserved.
+        renamed = [plan.renaming[v] for v in (1, 2, 3)]
+        assert renamed == sorted(renamed)
+        assert renamed[0] == 1
+        for fresh in plan.fresh:
+            assert renamed[0] < fresh < renamed[1]
+
+    def test_integer_translation_blocked_by_pinned_constant(self):
+        with pytest.raises(UniverseError):
+            INTEGERS.make_room([1, 2, 3], 1, 2, pinned=[3])
+
+    def test_integer_room_below_pinned_is_fine_when_gap_exists(self):
+        plan = INTEGERS.make_room([1, 100], 1, 2, pinned=[100])
+        assert plan.is_identity
+        assert plan.fresh == (2, 3)
+
+    def test_integer_anchor_must_be_in_domain(self):
+        with pytest.raises(UniverseError):
+            INTEGERS.make_room([1, 2], 7, 1)
+
+    def test_rational_room_never_renames(self):
+        plan = RATIONALS.make_room([1, 2], 1, 5)
+        assert plan.is_identity
+        assert len(plan.fresh) == 5
+        assert all(1 < f < 2 for f in plan.fresh)
+        assert list(plan.fresh) == sorted(plan.fresh)
+
+    def test_rational_room_above_maximum(self):
+        plan = RATIONALS.make_room([1, 2], 2, 3)
+        assert all(f > 2 for f in plan.fresh)
+
+    def test_string_room(self):
+        plan = STRINGS.make_room(["a", "b"], "a", 3)
+        assert plan.is_identity
+        assert all("a" < f < "b" for f in plan.fresh)
+        assert list(plan.fresh) == sorted(plan.fresh)
+
+    @given(st.sets(st.integers(0, 30), min_size=1, max_size=8), st.integers(1, 5))
+    def test_integer_make_room_invariants(self, domain, count):
+        domain_list = sorted(domain)
+        anchor = domain_list[0]
+        plan = INTEGERS.make_room(domain, anchor, count)
+        renamed = {v: plan.renaming[v] for v in domain}
+        # Order-isomorphism on the old domain.
+        ordered = [renamed[v] for v in domain_list]
+        assert ordered == sorted(ordered)
+        # Fresh values strictly between renamed anchor and its successor.
+        fresh = plan.fresh
+        assert len(fresh) == count
+        assert list(fresh) == sorted(fresh)
+        assert all(f > renamed[anchor] for f in fresh)
+        above = [renamed[v] for v in domain_list if v > anchor]
+        if above:
+            assert all(f < above[0] for f in fresh)
+        # Fresh values are really fresh.
+        assert not set(fresh) & set(renamed.values())
+
+
+class TestUniverseFor:
+    def test_pure_ints(self):
+        assert universe_for([1, 2, 3]) is INTEGERS
+
+    def test_fractions_promote(self):
+        assert universe_for([1, Fraction(1, 2)]) is RATIONALS
+
+    def test_strings(self):
+        assert universe_for(["a", "b"]) is STRINGS
+
+    def test_mixing_raises(self):
+        with pytest.raises(UniverseError):
+            universe_for([1, "a"])
+
+    def test_bool_raises(self):
+        with pytest.raises(UniverseError):
+            universe_for([True])
+
+    def test_empty_defaults_to_integers(self):
+        assert universe_for([]) is INTEGERS

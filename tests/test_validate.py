@@ -1,0 +1,57 @@
+"""Tests for expression/schema validation (:mod:`repro.algebra.validate`)."""
+
+import pytest
+
+from repro.algebra.ast import rel
+from repro.algebra.validate import is_valid, problems, validate
+from repro.data.schema import Schema
+from repro.errors import ArityError, UnknownRelationError
+
+SCHEMA = Schema({"R": 2, "S": 1})
+
+
+class TestValidate:
+    def test_valid_expression(self):
+        expr = rel("R", 2).join(rel("S", 1), "2=1")
+        validate(expr, SCHEMA)
+        assert is_valid(expr, SCHEMA)
+        assert problems(expr, SCHEMA) == []
+
+    def test_unknown_relation(self):
+        expr = rel("Q", 2)
+        assert not is_valid(expr, SCHEMA)
+        with pytest.raises(UnknownRelationError):
+            validate(expr, SCHEMA)
+
+    def test_arity_mismatch(self):
+        expr = rel("R", 3)
+        found = problems(expr, SCHEMA)
+        assert len(found) == 1
+        assert isinstance(found[0], ArityError)
+        with pytest.raises(ArityError):
+            validate(expr, SCHEMA)
+
+    def test_multiple_problems_collected(self):
+        expr = rel("Q", 1).union(rel("R", 1))
+        found = problems(expr, SCHEMA)
+        assert len(found) == 2
+
+    def test_duplicate_references_reported_once(self):
+        bad = rel("Q", 1)
+        expr = bad.union(bad).union(bad)
+        assert len(problems(expr, SCHEMA)) == 1
+
+    def test_same_name_different_arities_both_reported(self):
+        expr = rel("R", 1).cartesian(rel("R", 3))
+        assert len(problems(expr, SCHEMA)) == 2
+
+    def test_deep_expression(self):
+        expr = (
+            rel("R", 2)
+            .semijoin(rel("S", 1), "2=1")
+            .project(1)
+            .minus(rel("Q", 1))
+        )
+        found = problems(expr, SCHEMA)
+        assert len(found) == 1
+        assert isinstance(found[0], UnknownRelationError)
