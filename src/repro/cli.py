@@ -2,7 +2,8 @@
 
 Subcommands::
 
-    repro eval     -d db.json 'project[1](R join[2=1] S)'
+    repro eval     -d db.json 'project[1](R join[2=1] S)'   # engine-backed
+    repro explain  'R cartesian S' --schema 'R:2,S:1'       # physical plan
     repro trace    -d db.json 'project[1](R) cartesian S'
     repro classify -d db.json 'R cartesian S'           # db optional
     repro compile  'R join[2=1] S' --schema 'R:2,S:1'
@@ -39,6 +40,19 @@ _UNIVERSES = {
 }
 
 
+def _load_database(path: str):
+    """Load a database file, reporting I/O failures as CLI errors.
+
+    Only file loading is wrapped: an unreadable ``--database`` path is
+    a user error (clean ``error:`` + exit 2), while I/O failures on
+    output (e.g. a closed pipe) must keep their default behaviour.
+    """
+    try:
+        return load_database(path)
+    except OSError as error:
+        raise ReproError(f"cannot read database {path!r}: {error}") from error
+
+
 def _parse_schema(text: str) -> Schema:
     entries = {}
     for part in text.split(","):
@@ -56,24 +70,50 @@ def _parse_value(text: str):
 
 def _schema_for(args) -> Schema:
     if getattr(args, "database", None):
-        return load_database(args.database).schema
+        return _load_database(args.database).schema
     if getattr(args, "schema", None):
         return _parse_schema(args.schema)
     raise ReproError("provide --database or --schema")
 
 
 def _cmd_eval(args) -> int:
-    db = load_database(args.database)
+    db = _load_database(args.database)
     expr = parse(args.expression, db.schema)
-    rows = sorted(evaluate(expr, db), key=repr)
+    use_engine = not getattr(args, "no_engine", False)
+    rows = sorted(evaluate(expr, db, use_engine=use_engine), key=repr)
     for row in rows:
         print("\t".join(str(v) for v in row))
     print(f"-- {len(rows)} row(s)", file=sys.stderr)
     return 0
 
 
+def _cmd_explain(args) -> int:
+    from repro.engine import Executor, plan_expression
+    from repro.engine.planner import explain as explain_plan
+
+    # Load the database once: it provides the schema and, if present,
+    # is also executed against below (EXPLAIN ANALYZE-style).
+    db = _load_database(args.database) if args.database else None
+    if db is not None:
+        schema = db.schema
+    elif args.schema:
+        schema = _parse_schema(args.schema)
+    else:
+        raise ReproError("provide --database or --schema")
+    expr = parse(args.expression, schema)
+    # Plan once: the plan printed is the plan executed and measured.
+    plan = plan_expression(expr)
+    print(explain_plan(expr, schema=schema, analyze=args.analyze, plan=plan))
+    if db is not None:
+        executor = Executor(db)
+        result = executor.execute(plan)
+        print(f"-- {len(result)} row(s)", file=sys.stderr)
+        print(executor.stats.report(), file=sys.stderr)
+    return 0
+
+
 def _cmd_trace(args) -> int:
-    db = load_database(args.database)
+    db = _load_database(args.database)
     expr = parse(args.expression, db.schema)
     print(trace(expr, db).report())
     return 0
@@ -98,13 +138,24 @@ def _cmd_compile(args) -> int:
 
 
 def _cmd_divide(args) -> int:
-    db = load_database(args.database)
-    algorithm = (
-        DIVISION_ALGORITHMS[args.algorithm]
-        if args.algorithm != "reference"
-        else divide_reference
-    )
-    quotient = algorithm(db[args.dividend], db[args.divisor])
+    db = _load_database(args.database)
+    if args.algorithm == "engine":
+        from repro.algebra.ast import Rel
+        from repro.engine import run
+        from repro.setjoins.division import classic_division_expr
+
+        expr = classic_division_expr(
+            Rel(args.dividend, db.schema[args.dividend]),
+            Rel(args.divisor, db.schema[args.divisor]),
+        )
+        quotient = frozenset(a for (a,) in run(expr, db))
+    else:
+        algorithm = (
+            DIVISION_ALGORITHMS[args.algorithm]
+            if args.algorithm != "reference"
+            else divide_reference
+        )
+        quotient = algorithm(db[args.dividend], db[args.divisor])
     for value in sorted(quotient, key=repr):
         print(value)
     print(f"-- {len(quotient)} row(s)", file=sys.stderr)
@@ -125,7 +176,7 @@ def _cmd_gf(args) -> int:
     from repro.logic.eval import answers, answers_c_stored
     from repro.logic.parser import parse_formula
 
-    db = load_database(args.database)
+    db = _load_database(args.database)
     phi = parse_formula(args.formula)
     var_order = args.vars or sorted(phi.free_variables())
     constants = tuple(_parse_value(v) for v in args.constants or ())
@@ -141,8 +192,8 @@ def _cmd_gf(args) -> int:
 
 
 def _cmd_bisim(args) -> int:
-    left = load_database(args.left)
-    right = load_database(args.right)
+    left = _load_database(args.left)
+    right = _load_database(args.right)
     left_tuple = tuple(_parse_value(v) for v in args.left_tuple)
     right_tuple = tuple(_parse_value(v) for v in args.right_tuple)
     constants = tuple(_parse_value(v) for v in args.constants or ())
@@ -172,7 +223,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_eval = sub.add_parser("eval", help="evaluate an expression")
     p_eval.add_argument("expression")
     p_eval.add_argument("-d", "--database", required=True)
+    p_eval.add_argument(
+        "--no-engine",
+        action="store_true",
+        help="bypass the engine and use the structural evaluator",
+    )
     p_eval.set_defaults(fn=_cmd_eval)
+
+    p_explain = sub.add_parser(
+        "explain",
+        help="show the engine's physical plan (with -d: also execute "
+        "it and report executor stats)",
+    )
+    p_explain.add_argument("expression")
+    p_explain.add_argument("-d", "--database")
+    p_explain.add_argument("--schema", help="e.g. 'R:2,S:1'")
+    p_explain.add_argument(
+        "--analyze",
+        action="store_true",
+        help="prefix the Theorem 17 dichotomy verdict",
+    )
+    p_explain.set_defaults(fn=_cmd_explain)
 
     p_trace = sub.add_parser(
         "trace", help="evaluate, reporting intermediate sizes"
@@ -210,7 +281,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_divide.add_argument("--divisor", default="S")
     p_divide.add_argument(
         "--algorithm",
-        choices=["reference"] + sorted(DIVISION_ALGORITHMS),
+        choices=["reference", "engine"] + sorted(DIVISION_ALGORITHMS),
         default="hash",
     )
     p_divide.set_defaults(fn=_cmd_divide)

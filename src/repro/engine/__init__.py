@@ -1,0 +1,114 @@
+"""The cost-aware query engine: plan → optimize → execute.
+
+The paper's dichotomy (Theorem 17) and the division lower bound
+(Proposition 26) are statements about *plan choice*: the same query is
+unavoidably quadratic as a classic RA expression yet linear as a direct
+algorithm one level down.  This package is the layer that acts on that:
+
+* :mod:`repro.engine.plan` — physical operator nodes (hash join,
+  hash semijoin, the division-algorithm zoo, grouping) with
+  EXPLAIN-style rendering;
+* :mod:`repro.engine.planner` — structural recognition of division
+  patterns plus dichotomy-informed operator choice;
+* :mod:`repro.engine.executor` — memoizing streaming execution with a
+  per-database hash-index cache shared across sub-plans and queries.
+
+Typical use::
+
+    from repro.engine import run, explain
+
+    rows = run(expr, db)            # plan + execute
+    print(explain(expr))            # what the planner chose, and why
+
+See ``docs/engine.md`` for the architecture and the routing rules.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from functools import lru_cache
+
+from repro.algebra.ast import Expr
+from repro.algebra.evaluator import Relation
+from repro.data.database import Database
+from repro.engine.executor import ExecutionStats, Executor, IndexCache, execute_plan
+from repro.engine.plan import DivisionOp, PlanNode
+from repro.engine.planner import (
+    DEFAULT_OPTIONS,
+    Planner,
+    PlannerOptions,
+    explain,
+    match_division,
+    plan_expression,
+)
+
+__all__ = [
+    "DEFAULT_OPTIONS",
+    "DivisionOp",
+    "ExecutionStats",
+    "Executor",
+    "IndexCache",
+    "PlanNode",
+    "Planner",
+    "PlannerOptions",
+    "execute_plan",
+    "explain",
+    "match_division",
+    "plan_expression",
+    "run",
+]
+
+
+#: Plans are pure functions of (expression, options); hot loops —
+#: classification probes, bisimulation checks — evaluate the same
+#: small expressions over and over, so planning is memoized globally.
+_cached_plan = lru_cache(maxsize=1024)(plan_expression)
+
+#: Executors bound to recently seen databases, so back-to-back queries
+#: against the same database share the hash-index cache even when the
+#: caller does not manage an Executor.  Result memos are reset after
+#: every top-level query (queries recompute; only index builds
+#: amortize), and an executor whose indexes hold more than the row
+#: bound is dropped rather than pinned.  Strong references, hence the
+#: small FIFO bound on cached databases.
+_EXECUTOR_CACHE_SIZE = 8
+_EXECUTOR_ROWS_BOUND = 200_000
+_executors: "OrderedDict[Database, Executor]" = OrderedDict()
+
+
+def _executor_for(db: Database) -> Executor:
+    executor = _executors.get(db)
+    if executor is None:
+        executor = Executor(db)
+        _executors[db] = executor
+        while len(_executors) > _EXECUTOR_CACHE_SIZE:
+            _executors.popitem(last=False)
+    else:
+        _executors.move_to_end(db)
+    return executor
+
+
+def run(
+    expr: Expr,
+    db: Database,
+    options: PlannerOptions = DEFAULT_OPTIONS,
+    executor: Executor | None = None,
+) -> Relation:
+    """Plan ``expr`` and execute it on ``db``.
+
+    Plans are cached per (expression, options), and executors are
+    reused per database so repeated calls share hash-index builds;
+    each call recomputes its result (the per-query memo is reset
+    between calls).  Pass an :class:`Executor` bound to ``db`` to
+    manage reuse explicitly — caller-managed executors keep their
+    result memo across :meth:`~Executor.execute` calls.
+    """
+    plan = _cached_plan(expr, options)
+    if executor is None:
+        executor = _executor_for(db)
+        result = execute_plan(plan, db, executor)
+        executor.reset_query_state()
+        if executor.indexes.rows_indexed > _EXECUTOR_ROWS_BOUND:
+            _executors.pop(db, None)
+        return result
+    return execute_plan(plan, db, executor)

@@ -1,0 +1,459 @@
+"""Physical query plans: the operator nodes the executor runs.
+
+The logical algebra (:mod:`repro.algebra.ast`) says *what* to compute;
+a physical plan says *how*.  One logical node can map to several
+physical operators — a ``Join`` becomes a :class:`HashJoinOp` when its
+condition has equality atoms and a :class:`NestedLoopJoinOp` otherwise,
+and a whole logical sub-tree matching a division pattern collapses into
+a single :class:`DivisionOp` backed by the linear algorithms of
+:mod:`repro.setjoins.division` (Graefe's "four algorithms" framing).
+
+Every node carries
+
+* ``logical`` — the logical expression the node computes, so plans stay
+  auditable: ``explain()`` renders each operator next to the parseable
+  ASCII form of its logical expression (``repro.algebra.parser`` reads
+  it back; property-tested in ``tests/test_engine_explain.py``);
+* ``note`` — the planner's routing rationale (dichotomy verdicts, cost
+  reasoning), free-form text that never affects execution.
+
+Nodes are frozen dataclasses, so structurally equal sub-plans hash
+equally and the executor memoizes them exactly like the logical
+evaluator memoizes sub-expressions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algebra.ast import Expr
+from repro.algebra.conditions import Condition
+from repro.data.universe import Value
+from repro.errors import ArityError, SchemaError
+
+#: Division algorithms a :class:`DivisionOp` may name (the zoo of
+#: :mod:`repro.setjoins.division`; ``eq`` variants must exist too).
+DIVISION_METHODS = ("hash", "sort_merge", "counting", "nested_loop")
+
+#: Empty-divisor policies: the classic RA plan returns all candidates
+#: (``R ÷ ∅ = π_A(R)``) while the §5 γ plans return ∅ (the documented
+#: SQL-folklore caveat).  The planner records which semantics the
+#: *source expression* has, so the rewrite stays an exact equivalence.
+EMPTY_DIVISOR_POLICIES = ("all", "none")
+
+
+@dataclass(frozen=True)
+class PlanNode:
+    """Base class of all physical operators."""
+
+    def __post_init__(self) -> None:  # pragma: no cover - abstract
+        raise SchemaError("PlanNode is abstract; use a concrete operator")
+
+    @property
+    def logical(self) -> Expr:
+        raise NotImplementedError
+
+    @property
+    def arity(self) -> int:
+        return self.logical.arity
+
+    def children(self) -> tuple["PlanNode", ...]:
+        raise NotImplementedError
+
+    def label(self) -> str:
+        """The operator name with its arguments, e.g. ``HashJoin[2=1]``."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Traversal / rendering
+    # ------------------------------------------------------------------
+
+    def nodes(self):
+        """All plan nodes in post-order (self last)."""
+        for child in self.children():
+            yield from child.nodes()
+        yield self
+
+    def size(self) -> int:
+        return 1 + sum(child.size() for child in self.children())
+
+    def explain(self, indent: str = "") -> str:
+        """EXPLAIN-style rendering: one line per operator.
+
+        Format per line::
+
+            <indent><Label> /<arity><  -- note>  :: <ascii logical>
+
+        The text after ``' :: '`` is the parseable ASCII syntax of the
+        node's logical expression (when the logical algebra can print
+        it; extended γ/sort nodes render but do not parse).
+        """
+        from repro.algebra.printer import to_ascii
+
+        note = getattr(self, "note", "")
+        suffix = f"  -- {note}" if note else ""
+        line = (
+            f"{indent}{self.label()} /{self.arity}{suffix}"
+            f"  :: {to_ascii(self.logical)}"
+        )
+        lines = [line]
+        for child in self.children():
+            lines.append(child.explain(indent + "  "))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.explain()
+
+
+@dataclass(frozen=True)
+class ScanOp(PlanNode):
+    """A full scan of a stored relation."""
+
+    expr: Expr  # a Rel node
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        from repro.algebra.ast import Rel
+
+        if not isinstance(self.expr, Rel):
+            raise SchemaError("ScanOp needs a Rel logical node")
+
+    @property
+    def logical(self) -> Expr:
+        return self.expr
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return ()
+
+    def label(self) -> str:
+        return f"Scan {self.expr.name}"
+
+
+@dataclass(frozen=True)
+class UnionOp(PlanNode):
+    left: PlanNode
+    right: PlanNode
+    expr: Expr
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        if self.left.arity != self.right.arity:
+            raise ArityError("union operands must have equal arity")
+
+    @property
+    def logical(self) -> Expr:
+        return self.expr
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.left, self.right)
+
+    def label(self) -> str:
+        return "Union"
+
+
+@dataclass(frozen=True)
+class DifferenceOp(PlanNode):
+    left: PlanNode
+    right: PlanNode
+    expr: Expr
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        if self.left.arity != self.right.arity:
+            raise ArityError("difference operands must have equal arity")
+
+    @property
+    def logical(self) -> Expr:
+        return self.expr
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.left, self.right)
+
+    def label(self) -> str:
+        return "Difference"
+
+
+@dataclass(frozen=True)
+class ProjectOp(PlanNode):
+    child: PlanNode
+    positions: tuple[int, ...]
+    expr: Expr
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "positions", tuple(self.positions))
+        for position in self.positions:
+            if position < 1 or position > self.child.arity:
+                raise SchemaError(
+                    f"projection position {position} out of range "
+                    f"1..{self.child.arity}"
+                )
+
+    @property
+    def logical(self) -> Expr:
+        return self.expr
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def label(self) -> str:
+        return f"Project[{','.join(str(p) for p in self.positions)}]"
+
+
+@dataclass(frozen=True)
+class FilterOp(PlanNode):
+    """One or more fused selection predicates ``(op, i, j)``."""
+
+    child: PlanNode
+    predicates: tuple[tuple[str, int, int], ...]
+    expr: Expr
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "predicates", tuple(self.predicates))
+        if not self.predicates:
+            raise SchemaError("FilterOp needs at least one predicate")
+        for op, i, j in self.predicates:
+            if op not in ("=", "<"):
+                raise SchemaError(f"unknown filter comparison {op!r}")
+            for position in (i, j):
+                if position < 1 or position > self.child.arity:
+                    raise SchemaError(
+                        f"filter position {position} out of range "
+                        f"1..{self.child.arity}"
+                    )
+
+    @property
+    def logical(self) -> Expr:
+        return self.expr
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def label(self) -> str:
+        rendered = ",".join(f"{i}{op}{j}" for op, i, j in self.predicates)
+        return f"Filter[{rendered}]"
+
+    def holds(self, row: tuple[Value, ...]) -> bool:
+        for op, i, j in self.predicates:
+            a, b = row[i - 1], row[j - 1]
+            if not (a == b if op == "=" else a < b):
+                return False
+        return True
+
+
+@dataclass(frozen=True)
+class TagOp(PlanNode):
+    child: PlanNode
+    value: Value
+    expr: Expr
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        pass  # the base raises; any constructed TagOp is well-formed
+
+    @property
+    def logical(self) -> Expr:
+        return self.expr
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def label(self) -> str:
+        return f"Tag[{self.value!r}]"
+
+
+@dataclass(frozen=True)
+class HashJoinOp(PlanNode):
+    """θ-join probing a hash index on the right operand's equality keys."""
+
+    left: PlanNode
+    right: PlanNode
+    cond: Condition
+    expr: Expr
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.cond.by_op("="):
+            raise SchemaError(
+                "HashJoinOp needs at least one equality atom; use "
+                "NestedLoopJoinOp for pure θ/cartesian joins"
+            )
+        self.cond.validate(self.left.arity, self.right.arity)
+
+    @property
+    def logical(self) -> Expr:
+        return self.expr
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.left, self.right)
+
+    def label(self) -> str:
+        return f"HashJoin[{self.cond}]"
+
+
+@dataclass(frozen=True)
+class NestedLoopJoinOp(PlanNode):
+    """θ-join by candidate-pair enumeration (cartesian when θ is TRUE)."""
+
+    left: PlanNode
+    right: PlanNode
+    cond: Condition
+    expr: Expr
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        self.cond.validate(self.left.arity, self.right.arity)
+
+    @property
+    def logical(self) -> Expr:
+        return self.expr
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.left, self.right)
+
+    def label(self) -> str:
+        return f"NestedLoopJoin[{self.cond}]"
+
+
+@dataclass(frozen=True)
+class HashSemijoinOp(PlanNode):
+    """``E1 ⋉_θ E2`` probing a hash index on the right equality keys."""
+
+    left: PlanNode
+    right: PlanNode
+    cond: Condition
+    expr: Expr
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.cond.by_op("="):
+            raise SchemaError(
+                "HashSemijoinOp needs at least one equality atom"
+            )
+        self.cond.validate(self.left.arity, self.right.arity)
+
+    @property
+    def logical(self) -> Expr:
+        return self.expr
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.left, self.right)
+
+    def label(self) -> str:
+        return f"HashSemijoin[{self.cond}]"
+
+
+@dataclass(frozen=True)
+class NestedLoopSemijoinOp(PlanNode):
+    left: PlanNode
+    right: PlanNode
+    cond: Condition
+    expr: Expr
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        self.cond.validate(self.left.arity, self.right.arity)
+
+    @property
+    def logical(self) -> Expr:
+        return self.expr
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.left, self.right)
+
+    def label(self) -> str:
+        return f"NestedLoopSemijoin[{self.cond}]"
+
+
+@dataclass(frozen=True)
+class DivisionOp(PlanNode):
+    """Direct relational division ``dividend(A,B) ÷ divisor(B)``.
+
+    Replaces a whole logical sub-tree (the classic quadratic RA plan or
+    a §5 γ plan) with one linear operator from the algorithm zoo.  The
+    ``method`` names the algorithm (:data:`DIVISION_METHODS`), ``eq``
+    selects equality-division, and ``empty_divisor`` records the source
+    expression's empty-divisor semantics so the rewrite is exact.
+    """
+
+    dividend: PlanNode
+    divisor: PlanNode
+    method: str
+    eq: bool
+    empty_divisor: str
+    expr: Expr
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        if self.method not in DIVISION_METHODS:
+            raise SchemaError(
+                f"unknown division method {self.method!r}; expected one "
+                f"of {DIVISION_METHODS}"
+            )
+        if self.empty_divisor not in EMPTY_DIVISOR_POLICIES:
+            raise SchemaError(
+                f"unknown empty-divisor policy {self.empty_divisor!r}"
+            )
+        if self.dividend.arity != 2 or self.divisor.arity != 1:
+            raise ArityError("DivisionOp needs dividend/2 and divisor/1")
+
+    @property
+    def logical(self) -> Expr:
+        return self.expr
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.dividend, self.divisor)
+
+    def label(self) -> str:
+        kind = "eq" if self.eq else "contains"
+        return f"Division[{self.method},{kind},empty={self.empty_divisor}]"
+
+
+@dataclass(frozen=True)
+class GroupByOp(PlanNode):
+    """γ with grouping positions and aggregates (extended algebra)."""
+
+    child: PlanNode
+    expr: Expr  # a repro.extended.ast.GroupBy node
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        from repro.extended.ast import GroupBy
+
+        if not isinstance(self.expr, GroupBy):
+            raise SchemaError("GroupByOp needs a GroupBy logical node")
+
+    @property
+    def logical(self) -> Expr:
+        return self.expr
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def label(self) -> str:
+        positions = ",".join(str(p) for p in self.expr.group_positions)
+        aggregates = ",".join(str(a) for a in self.expr.aggregates)
+        return f"GroupBy[{positions};{aggregates}]"
+
+
+@dataclass(frozen=True)
+class SortOp(PlanNode):
+    """Order-by marker: the identity under set semantics."""
+
+    child: PlanNode
+    expr: Expr
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        pass  # the base raises; any constructed SortOp is well-formed
+
+    @property
+    def logical(self) -> Expr:
+        return self.expr
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def label(self) -> str:
+        return "Sort"

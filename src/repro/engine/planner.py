@@ -1,0 +1,534 @@
+"""The cost-aware planner: logical expressions → physical plans.
+
+Routing rules (documented in ``docs/engine.md``):
+
+1. **Division patterns collapse to direct algorithms.**  The classic
+   quadratic RA plan ``π_A(R) − π_A((π_A(R) × S) − R)`` (Proposition 26
+   says *every* RA expression for division is quadratic) and the §5
+   γ plans (containment and equality) are recognized structurally and
+   replaced by a single linear :class:`~repro.engine.plan.DivisionOp`
+   running Graefe's hash division by default.  The empty-divisor
+   semantics of the source expression is preserved exactly.
+2. **Projected joins become semijoins.**  ``π_p̄(E1 ⋈_θ E2)`` with p̄ on
+   one side routes through a semijoin operator — the Corollary 19
+   move: the join was only a filter, so the quadratic intermediate is
+   never materialized.
+3. **Equality atoms select hash operators.**  Joins/semijoins with at
+   least one ``=`` atom run as hash joins (index on the right, probe
+   from the left); pure θ/cartesian joins fall back to nested loops
+   and the planner records the dichotomy risk
+   (:func:`repro.core.classify.join_is_safe`, Definition 20 data from
+   :mod:`repro.core.joininfo`) in the operator's ``note``.
+4. **Selections are pushed toward the leaves** first (reusing
+   :func:`repro.algebra.optimize.push_selections`), then fused into
+   single :class:`~repro.engine.plan.FilterOp` nodes.
+
+:func:`plan_expression` is the entry point; :func:`explain` renders the
+chosen plan, optionally with the full Theorem 17 dichotomy verdict from
+:func:`repro.core.dichotomy.analyze`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algebra.ast import (
+    ConstantTag,
+    Difference,
+    Expr,
+    Join,
+    Projection,
+    Rel,
+    Selection,
+    Semijoin,
+    Union,
+)
+from repro.algebra.conditions import Atom, Condition
+from repro.core.classify import join_is_safe
+from repro.core.joininfo import JoinInfo
+from repro.data.schema import Schema
+from repro.engine.plan import (
+    DivisionOp,
+    DifferenceOp,
+    FilterOp,
+    GroupByOp,
+    HashJoinOp,
+    HashSemijoinOp,
+    NestedLoopJoinOp,
+    NestedLoopSemijoinOp,
+    PlanNode,
+    ProjectOp,
+    ScanOp,
+    SortOp,
+    TagOp,
+    UnionOp,
+)
+from repro.errors import SchemaError
+
+#: The empty condition, used to recognize cartesian products.
+_TRUE = Condition()
+
+
+@dataclass(frozen=True)
+class PlannerOptions:
+    """Knobs for the planner.
+
+    ``division_method`` picks the direct algorithm DivisionOp runs
+    (``"hash"`` is O(n); ``"sort_merge"``/``"counting"``/
+    ``"nested_loop"`` exist for experiments and ablations).
+    ``rewrite_divisions`` / ``introduce_semijoins`` / ``push_selections``
+    gate the three rewrites so ablations can isolate each one.
+    """
+
+    division_method: str = "hash"
+    rewrite_divisions: bool = True
+    introduce_semijoins: bool = True
+    push_selections: bool = True
+
+
+DEFAULT_OPTIONS = PlannerOptions()
+
+
+# ----------------------------------------------------------------------
+# Division pattern recognition
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DivisionMatch:
+    """A recognized division sub-tree."""
+
+    dividend: Expr
+    divisor: Expr
+    eq: bool
+    empty_divisor: str
+    origin: str
+
+
+def match_classic_division(expr: Expr) -> DivisionMatch | None:
+    """Recognize ``π_A(R) − π_A((π_A(R) × S) − R)`` (any sub-exprs R, S).
+
+    The textbook plan built by
+    :func:`repro.setjoins.division.classic_division_expr`; on an empty
+    divisor it returns all candidates (``R ÷ ∅ = π_A(R)``).
+    """
+    if not isinstance(expr, Difference):
+        return None
+    candidates, disqualified = expr.left, expr.right
+    if not (
+        isinstance(candidates, Projection)
+        and candidates.positions == (1,)
+        and candidates.child.arity == 2
+    ):
+        return None
+    dividend = candidates.child
+    if not (
+        isinstance(disqualified, Projection)
+        and disqualified.positions == (1,)
+        and isinstance(disqualified.child, Difference)
+    ):
+        return None
+    missing = disqualified.child
+    if missing.right != dividend:
+        return None
+    cross = missing.left
+    if not (
+        isinstance(cross, Join)
+        and cross.cond == _TRUE
+        and cross.left == candidates
+        and cross.right.arity == 1
+    ):
+        return None
+    return DivisionMatch(
+        dividend=dividend,
+        divisor=cross.right,
+        eq=False,
+        empty_divisor="all",
+        origin="classic RA division plan (quadratic, Prop. 26)",
+    )
+
+
+def _is_count_group(expr: Expr, positions: tuple[int, ...], over: int):
+    """Whether ``expr`` is ``γ_{positions, count(over)}(child)``; → child."""
+    try:
+        from repro.extended.ast import GroupBy
+    except ImportError:  # pragma: no cover - extended always ships
+        return None
+    if not isinstance(expr, GroupBy):
+        return None
+    if expr.group_positions != positions:
+        return None
+    if len(expr.aggregates) != 1:
+        return None
+    aggregate = expr.aggregates[0]
+    if aggregate.func != "count" or aggregate.position != over:
+        return None
+    return expr.child
+
+
+_B_EQ_C = Condition((Atom(2, "=", 1),))
+
+
+def match_gamma_containment_division(expr: Expr) -> DivisionMatch | None:
+    """Recognize the §5 containment plan
+    ``π_A(γ_{A,count}(R ⋈_{2=1} S) ⋈_{2=1} γ_{count}(S))``.
+
+    Returns ∅ on an empty divisor (the documented caveat), which the
+    match records as the ``"none"`` policy.
+    """
+    if not (isinstance(expr, Projection) and expr.positions == (1,)):
+        return None
+    matched = expr.child
+    if not (isinstance(matched, Join) and matched.cond == _B_EQ_C):
+        return None
+    joined = _is_count_group(matched.left, (1,), 2)
+    divisor = _is_count_group(matched.right, (), 1)
+    if joined is None or divisor is None:
+        return None
+    if not (isinstance(joined, Join) and joined.cond == _B_EQ_C):
+        return None
+    dividend = joined.left
+    if dividend.arity != 2 or joined.right != divisor:
+        return None
+    if divisor.arity != 1:
+        return None
+    return DivisionMatch(
+        dividend=dividend,
+        divisor=divisor,
+        eq=False,
+        empty_divisor="none",
+        origin="§5 γ containment-division plan",
+    )
+
+
+def match_gamma_equality_division(expr: Expr) -> DivisionMatch | None:
+    """Recognize the §5 equality plan built by
+    :func:`repro.extended.division_plan.equality_division_plan`."""
+    if not (isinstance(expr, Projection) and expr.positions == (1,)):
+        return None
+    selected = expr.child
+    if not (
+        isinstance(selected, Selection)
+        and selected.op == "="
+        and (selected.i, selected.j) == (4, 5)
+    ):
+        return None
+    with_k = selected.child
+    if not (isinstance(with_k, Join) and with_k.cond == _B_EQ_C):
+        return None
+    per_candidate, divisor_size = with_k.left, with_k.right
+    divisor = _is_count_group(divisor_size, (), 1)
+    if divisor is None or divisor.arity != 1:
+        return None
+    if not (
+        isinstance(per_candidate, Join)
+        and per_candidate.cond == Condition((Atom(1, "=", 1),))
+    ):
+        return None
+    joined = _is_count_group(per_candidate.left, (1,), 2)
+    totals = _is_count_group(per_candidate.right, (1,), 2)
+    if joined is None or totals is None:
+        return None
+    if not (isinstance(joined, Join) and joined.cond == _B_EQ_C):
+        return None
+    dividend = joined.left
+    if dividend.arity != 2 or dividend != totals:
+        return None
+    if joined.right != divisor:
+        return None
+    return DivisionMatch(
+        dividend=dividend,
+        divisor=divisor,
+        eq=True,
+        empty_divisor="none",
+        origin="§5 γ equality-division plan",
+    )
+
+
+def match_division(expr: Expr) -> DivisionMatch | None:
+    """Try all known division shapes at this node."""
+    for matcher in (
+        match_classic_division,
+        match_gamma_containment_division,
+        match_gamma_equality_division,
+    ):
+        found = matcher(expr)
+        if found is not None:
+            return found
+    return None
+
+
+# ----------------------------------------------------------------------
+# The planner
+# ----------------------------------------------------------------------
+
+
+class Planner:
+    """Translate logical expressions into physical plans.
+
+    Planning is memoized per distinct sub-expression: expressions are
+    trees whose structurally equal subtrees can repeat (the
+    intersection chains of ``small_divisor_expr`` double a subtree per
+    level), so an occurrence-by-occurrence walk would be exponential
+    while the distinct-node walk is linear — and shared logical
+    subtrees come back as the *same* plan node, which the executor then
+    computes once.
+    """
+
+    #: Occurrence budget for the global selection-pushdown rewrite,
+    #: which (unlike planning) walks occurrences, not distinct nodes.
+    PUSHDOWN_SIZE_LIMIT = 512
+
+    def __init__(self, options: PlannerOptions = DEFAULT_OPTIONS) -> None:
+        self.options = options
+        self._memo: dict[Expr, PlanNode] = {}
+
+    def plan(self, expr: Expr) -> PlanNode:
+        """Plan a logical expression (RA/SA, optionally with γ/Sort)."""
+        if (
+            self.options.push_selections
+            and _is_core(expr)
+            and _occurrences_within(expr, self.PUSHDOWN_SIZE_LIMIT)
+        ):
+            from repro.algebra.optimize import push_selections
+
+            expr = push_selections(expr)
+        return self._plan(expr)
+
+    # -- recursive translation -----------------------------------------
+
+    def _plan(self, expr: Expr) -> PlanNode:
+        cached = self._memo.get(expr)
+        if cached is not None:
+            return cached
+        planned = self._plan_node(expr)
+        self._memo[expr] = planned
+        return planned
+
+    def _plan_node(self, expr: Expr) -> PlanNode:
+        if self.options.rewrite_divisions:
+            match = match_division(expr)
+            if match is not None:
+                return self._division(expr, match)
+        if isinstance(expr, Rel):
+            return ScanOp(expr)
+        if isinstance(expr, Union):
+            return UnionOp(self._plan(expr.left), self._plan(expr.right), expr)
+        if isinstance(expr, Difference):
+            return DifferenceOp(
+                self._plan(expr.left), self._plan(expr.right), expr
+            )
+        if isinstance(expr, Projection):
+            return self._projection(expr)
+        if isinstance(expr, Selection):
+            return self._selection(expr)
+        if isinstance(expr, ConstantTag):
+            return TagOp(self._plan(expr.child), expr.value, expr)
+        if isinstance(expr, Join):
+            return self._join(expr, self._plan(expr.left), self._plan(expr.right))
+        if isinstance(expr, Semijoin):
+            return self._semijoin(
+                expr, self._plan(expr.left), self._plan(expr.right), expr.cond
+            )
+        extended = self._plan_extended(expr)
+        if extended is not None:
+            return extended
+        raise SchemaError(
+            f"planner: unknown expression node {type(expr).__name__}"
+        )
+
+    def _plan_extended(self, expr: Expr) -> PlanNode | None:
+        try:
+            from repro.extended.ast import GroupBy, Sort
+        except ImportError:  # pragma: no cover - extended always ships
+            return None
+        if isinstance(expr, GroupBy):
+            return GroupByOp(self._plan(expr.child), expr)
+        if isinstance(expr, Sort):
+            return SortOp(self._plan(expr.child), expr)
+        return None
+
+    # -- operator choice ------------------------------------------------
+
+    def _division(self, expr: Expr, match: DivisionMatch) -> PlanNode:
+        method = self.options.division_method
+        cost = {
+            "hash": "O(|R|+|S|)",
+            "counting": "O(|R|+|S|)",
+            "sort_merge": "O(|R| log |R|)",
+            "nested_loop": "O(|A|·|S|)",
+        }.get(method, "?")  # DivisionOp rejects unknown methods
+        return DivisionOp(
+            dividend=self._plan(match.dividend),
+            divisor=self._plan(match.divisor),
+            method=method,
+            eq=match.eq,
+            empty_divisor=match.empty_divisor,
+            expr=expr,
+            note=f"rewritten from {match.origin}; direct {method} "
+            f"division is {cost}",
+        )
+
+    def _projection(self, expr: Projection) -> PlanNode:
+        child = expr.child
+        if self.options.introduce_semijoins and isinstance(child, Join):
+            left_arity = child.left.arity
+            if all(p <= left_arity for p in expr.positions):
+                semijoin = self._semijoin(
+                    Semijoin(child.left, child.right, child.cond),
+                    self._plan(child.left),
+                    self._plan(child.right),
+                    child.cond,
+                    note="join used only as a filter (Cor. 19): "
+                    "semijoin avoids the join's intermediate",
+                )
+                return ProjectOp(semijoin, expr.positions, expr)
+            if all(p > left_arity for p in expr.positions):
+                mirrored = child.cond.mirrored()
+                semijoin = self._semijoin(
+                    Semijoin(child.right, child.left, mirrored),
+                    self._plan(child.right),
+                    self._plan(child.left),
+                    mirrored,
+                    note="join used only as a right-side filter "
+                    "(Cor. 19): mirrored semijoin",
+                )
+                remapped = tuple(p - left_arity for p in expr.positions)
+                return ProjectOp(semijoin, remapped, expr)
+        return ProjectOp(self._plan(child), expr.positions, expr)
+
+    def _selection(self, expr: Selection) -> PlanNode:
+        # Fuse stacked selections into one FilterOp.
+        predicates: list[tuple[str, int, int]] = []
+        node: Expr = expr
+        while isinstance(node, Selection):
+            predicates.append((node.op, node.i, node.j))
+            node = node.child
+        return FilterOp(self._plan(node), tuple(predicates), expr)
+
+    def _join(self, expr: Join, left: PlanNode, right: PlanNode) -> PlanNode:
+        info = JoinInfo.of(expr)
+        if expr.cond.by_op("="):
+            keys = ",".join(str(j) for __, j in sorted(info.theta_eq()))
+            note = f"equality atoms: hash index on right[{keys}]"
+            if not join_is_safe(expr):
+                note += (
+                    "; dichotomy: no side fully constrained — output "
+                    "may still be quadratic (Thm. 17)"
+                )
+            return HashJoinOp(left, right, expr.cond, expr, note=note)
+        note = (
+            "no equality atoms: nested loop; dichotomy: quadratic "
+            "candidate space (Thm. 17 / Lemma 24)"
+            if not join_is_safe(expr)
+            else "no equality atoms: nested loop over a constant side"
+        )
+        return NestedLoopJoinOp(left, right, expr.cond, expr, note=note)
+
+    def _semijoin(
+        self,
+        expr: Expr,
+        left: PlanNode,
+        right: PlanNode,
+        cond: Condition,
+        note: str = "",
+    ) -> PlanNode:
+        if cond.by_op("="):
+            extra = "hash semijoin (linear, SA= fragment)"
+            merged = f"{note}; {extra}" if note else extra
+            return HashSemijoinOp(left, right, cond, expr, note=merged)
+        extra = "nested-loop semijoin (linear output, |L|·|R| probes)"
+        merged = f"{note}; {extra}" if note else extra
+        return NestedLoopSemijoinOp(left, right, cond, expr, note=merged)
+
+
+_CORE_NODES = (
+    Rel,
+    Union,
+    Difference,
+    Projection,
+    Selection,
+    ConstantTag,
+    Join,
+    Semijoin,
+)
+
+
+def _is_core(expr: Expr) -> bool:
+    """Whether the expression uses only core RA/SA nodes.
+
+    Walks *distinct* sub-expressions (repeated subtrees are visited
+    once), so it stays linear on expressions with heavy sharing.
+    """
+    seen: set[Expr] = set()
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        if type(node) not in _CORE_NODES:
+            return False
+        stack.extend(node.children())
+    return True
+
+
+def _occurrences_within(expr: Expr, limit: int) -> bool:
+    """Whether the tree has at most ``limit`` node occurrences.
+
+    Aborts as soon as the budget is exceeded, so exponentially shared
+    trees are rejected in O(limit) instead of being enumerated.
+    """
+    count = 0
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        count += 1
+        if count > limit:
+            return False
+        stack.extend(node.children())
+    return True
+
+
+def plan_expression(
+    expr: Expr, options: PlannerOptions = DEFAULT_OPTIONS
+) -> PlanNode:
+    """Plan ``expr`` with the given options."""
+    return Planner(options).plan(expr)
+
+
+def dichotomy_line(expr: Expr, schema: Schema) -> str:
+    """The Theorem 17 verdict for ``expr``, rendered as a comment line."""
+    from repro.core.dichotomy import analyze as run_analysis
+
+    report = run_analysis(expr, schema)
+    return (
+        f"-- dichotomy: {report.verdict.value} "
+        f"({report.classification.reason})"
+    )
+
+
+def explain(
+    expr: Expr,
+    options: PlannerOptions = DEFAULT_OPTIONS,
+    schema: Schema | None = None,
+    analyze: bool = False,
+    plan: PlanNode | None = None,
+) -> str:
+    """Render the physical plan for ``expr``.
+
+    With ``analyze=True`` (requires ``schema``) the output is prefixed
+    with the Theorem 17 dichotomy verdict from
+    :func:`repro.core.dichotomy.analyze` — the planner's authority for
+    routing claims.  Pass a pre-built ``plan`` to render exactly the
+    plan some caller is about to execute.
+    """
+    lines: list[str] = []
+    if analyze:
+        if schema is None:
+            raise SchemaError("explain(analyze=True) needs a schema")
+        lines.append(dichotomy_line(expr, schema))
+    if plan is None:
+        plan = plan_expression(expr, options)
+    lines.append(plan.explain())
+    return "\n".join(lines)

@@ -15,11 +15,19 @@ Caveat (shared with the SQL folklore the plans come from): with an
 groups and the plans return ∅, whereas ``R ÷ ∅ = π_A(R)``.  The paper's
 expression has the same behaviour; the experiments avoid the empty
 divisor and the tests document it.
+
+Production execution goes through the engine: the planner recognizes
+both plans structurally (:func:`repro.engine.planner.match_division`)
+and collapses them into a single linear division operator —
+:func:`execute_division_plan` is the rewired entry point, and the
+expressions above stay as the reference semantics the engine is tested
+against (the empty-divisor caveat is preserved exactly).
 """
 
 from __future__ import annotations
 
 from repro.algebra.ast import Expr, Join, Projection, Rel, Selection
+from repro.data.database import Database
 from repro.errors import SchemaError
 from repro.extended.ast import Aggregate, GroupBy
 
@@ -66,6 +74,42 @@ def equality_division_plan(
     with_k = Join(per_candidate, divisor_size, "2=1")           # (A,m,A,t,k)
     equal_totals = Selection(with_k, "=", 4, 5)                 # t = k
     return Projection(equal_totals, (1,))
+
+
+def division_plan(eq: bool = False, r: Expr | None = None, s: Expr | None = None) -> Expr:
+    """The §5 plan for either division flavour (``eq`` selects equality)."""
+    if eq:
+        return equality_division_plan(r, s)
+    return containment_division_plan(r, s)
+
+
+def execute_division_plan(
+    db: Database,
+    eq: bool = False,
+    r: Expr | None = None,
+    s: Expr | None = None,
+    executor=None,
+):
+    """Run the §5 plan through the engine (routed to linear division).
+
+    The engine's planner collapses the γ expression into one
+    :class:`~repro.engine.plan.DivisionOp`, so no join or grouping
+    intermediate is materialized; semantics (including the
+    empty-divisor caveat) match :func:`repro.extended.evaluator.
+    evaluate_extended` on the same expression exactly.  Pass an
+    :class:`~repro.engine.executor.Executor` to share caches across
+    calls against the same database.
+    """
+    from repro.engine import run
+
+    return run(division_plan(eq, r, s), db, executor=executor)
+
+
+def physical_division_plan(eq: bool = False):
+    """The engine's physical plan for the §5 expression (for EXPLAIN)."""
+    from repro.engine import plan_expression
+
+    return plan_expression(division_plan(eq))
 
 
 def plan_intermediate_bound(r_size: int, s_size: int) -> int:

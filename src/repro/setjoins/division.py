@@ -48,11 +48,29 @@ BinaryRelation = Iterable[Row]
 
 
 def _pairs(r: BinaryRelation) -> frozenset[tuple[Value, Value]]:
-    out = frozenset(tuple(row) for row in r)
-    for row in out:
-        if len(row) != 2:
-            raise SchemaError(f"dividend rows must be 2-tuples, got {row!r}")
-    return out
+    """Validate and normalize a dividend: a set of 2-tuples.
+
+    Every zoo variant (containment and ``_eq`` alike) funnels its
+    dividend through here, so malformed inputs fail the same way
+    everywhere: a :class:`SchemaError` naming the offending row.  The
+    row type is checked *before* ``tuple()`` coercion — strings are
+    sequences of length 2 far too often (``tuple("ab") == ('a', 'b')``)
+    and non-sequences used to surface as ``TypeError`` from deep inside
+    an algorithm instead of a schema complaint at the boundary.
+    """
+    out: set[tuple[Value, Value]] = set()
+    for row in r:
+        if isinstance(row, str) or not isinstance(row, (tuple, list)):
+            raise SchemaError(
+                f"dividend rows must be 2-tuples, got {row!r}"
+            )
+        pair = tuple(row)
+        if len(pair) != 2:
+            raise SchemaError(
+                f"dividend rows must be 2-tuples, got {row!r}"
+            )
+        out.add(pair)
+    return frozenset(out)
 
 
 # ----------------------------------------------------------------------
@@ -292,10 +310,21 @@ def small_divisor_expr(divisor: Iterable, r: Expr | None = None) -> Expr:
     parts = [
         Projection(select_eq_const(r, 2, value), (1,)) for value in values
     ]
-    expr = parts[0]
-    for part in parts[1:]:
-        expr = Difference(expr, Difference(expr, part))  # intersection
-    return expr
+    # Balanced pairwise intersection: RA intersection A ∩ B is
+    # A − (A − B), which mentions A twice, so a left-leaning chain
+    # repeats its accumulator once per level — 2^|S| node occurrences.
+    # Pairing keeps the depth logarithmic and the occurrence count
+    # polynomial, which tree-walking tools (hashing, printing,
+    # occurrence traversals) depend on for larger divisors.
+    while len(parts) > 1:
+        paired = [
+            Difference(parts[i], Difference(parts[i], parts[i + 1]))
+            for i in range(0, len(parts) - 1, 2)
+        ]
+        if len(parts) % 2:
+            paired.append(parts[-1])
+        parts = paired
+    return parts[0]
 
 
 def divide_merge_count(r: BinaryRelation, s: Iterable) -> frozenset[Value]:

@@ -20,6 +20,7 @@ EXPECTED_IDS = {
     "FIG1", "FIG2", "FIG3", "FIG4", "FIG5", "FIG6",
     "EX3", "THM8", "THM17", "THM18", "PROP26",
     "ALG-DIV", "ALG-SCJ", "ALG-SEJ",
+    "ENGINE",
 }
 
 

@@ -41,6 +41,52 @@ class TestEval:
         assert "7" in capsys.readouterr().out
 
 
+class TestEvalEngine:
+    def test_eval_engine_and_structural_agree(self, db_path, capsys):
+        assert main(["eval", "-d", db_path, "R join[2=1] S"]) == 0
+        engine_out = capsys.readouterr().out
+        assert (
+            main(["eval", "-d", db_path, "--no-engine", "R join[2=1] S"])
+            == 0
+        )
+        assert capsys.readouterr().out == engine_out
+
+
+class TestExplain:
+    def test_explain_with_schema(self, capsys):
+        code = main(
+            [
+                "explain",
+                "--schema",
+                "R:2,S:1",
+                "project[1](R) minus project[1]((project[1](R) join[] S)"
+                " minus R)",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Division[hash" in out
+        assert " :: " in out
+
+    def test_explain_with_database_reports_stats(self, db_path, capsys):
+        code = main(["explain", "-d", db_path, "R join[2=1] S"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "HashJoin" in captured.out
+        assert "max intermediate" in captured.err
+
+    def test_explain_analyze(self, capsys):
+        code = main(
+            ["explain", "--schema", "R:2,S:1", "--analyze", "R cartesian S"]
+        )
+        assert code == 0
+        assert "dichotomy: quadratic" in capsys.readouterr().out
+
+    def test_explain_needs_schema_or_db(self, capsys):
+        assert main(["explain", "R cartesian S"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
 class TestTrace:
     def test_trace_reports_sizes(self, db_path, capsys):
         assert (
@@ -94,7 +140,8 @@ class TestDivide:
         assert "1" in out and "2" not in out.splitlines()
 
     @pytest.mark.parametrize(
-        "algorithm", ["reference", "hash", "counting", "sort_merge"]
+        "algorithm",
+        ["reference", "hash", "counting", "sort_merge", "engine"],
     )
     def test_divide_algorithms(self, db_path, algorithm, capsys):
         assert (

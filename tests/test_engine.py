@@ -1,0 +1,364 @@
+"""Tests for the cost-aware engine: planner routing and executor."""
+
+import pytest
+
+from repro.algebra.ast import Join, Projection, Rel, Semijoin, rel
+from repro.algebra.evaluator import evaluate
+from repro.algebra.parser import parse
+from repro.algebra.trace import trace
+from repro.data.database import database
+from repro.data.schema import Schema
+from repro.engine import (
+    Executor,
+    Planner,
+    PlannerOptions,
+    execute_plan,
+    plan_expression,
+    run,
+)
+from repro.engine.plan import (
+    DivisionOp,
+    FilterOp,
+    HashJoinOp,
+    HashSemijoinOp,
+    NestedLoopJoinOp,
+    NestedLoopSemijoinOp,
+    ProjectOp,
+    ScanOp,
+)
+from repro.engine.planner import explain, match_division
+from repro.errors import ArityError, SchemaError
+from repro.extended.division_plan import (
+    containment_division_plan,
+    equality_division_plan,
+    execute_division_plan,
+    physical_division_plan,
+)
+from repro.extended.evaluator import evaluate_extended
+from repro.setjoins.division import classic_division_expr, divide_reference
+from repro.workloads.generators import (
+    crossproduct_division_family,
+    division_database,
+)
+
+SCHEMA = Schema({"R": 2, "S": 1})
+
+
+@pytest.fixture
+def db():
+    return database(
+        {"R": 2, "S": 1},
+        R=[(1, 7), (1, 8), (2, 7), (3, 7), (3, 8), (3, 9)],
+        S=[(7,), (8,)],
+    )
+
+
+class TestDivisionRouting:
+    def test_classic_plan_routes_to_division_op(self):
+        plan = plan_expression(classic_division_expr())
+        assert isinstance(plan, DivisionOp)
+        assert plan.method == "hash"
+        assert not plan.eq
+        assert plan.empty_divisor == "all"
+
+    def test_gamma_containment_routes(self):
+        plan = plan_expression(containment_division_plan())
+        assert isinstance(plan, DivisionOp)
+        assert plan.empty_divisor == "none"
+
+    def test_gamma_equality_routes(self):
+        plan = plan_expression(equality_division_plan())
+        assert isinstance(plan, DivisionOp)
+        assert plan.eq
+
+    def test_division_inside_larger_expression(self):
+        inner = classic_division_expr()
+        outer = Projection(inner, (1, 1))
+        plan = plan_expression(outer)
+        assert isinstance(plan, ProjectOp)
+        assert isinstance(plan.child, DivisionOp)
+
+    def test_match_division_rejects_near_misses(self):
+        # Same shape but the join condition is not the cross product.
+        r, s = Rel("R", 2), Rel("S", 1)
+        candidates = Projection(r, (1,))
+        joined = Join(candidates, s, "1=1")
+        from repro.algebra.ast import Difference
+
+        near_miss = Difference(
+            candidates,
+            Projection(Difference(joined, r), (1,)),
+        )
+        assert match_division(near_miss) is None
+
+    def test_rewrite_can_be_disabled(self):
+        options = PlannerOptions(rewrite_divisions=False)
+        plan = plan_expression(classic_division_expr(), options)
+        assert not isinstance(plan, DivisionOp)
+        assert not any(
+            isinstance(node, DivisionOp) for node in plan.nodes()
+        )
+
+    def test_division_methods_agree(self, db):
+        expected = evaluate(
+            classic_division_expr(), db, use_engine=False
+        )
+        for method in ("hash", "sort_merge", "counting", "nested_loop"):
+            options = PlannerOptions(division_method=method)
+            assert run(classic_division_expr(), db, options) == expected
+
+    def test_unknown_division_method_rejected(self):
+        with pytest.raises(SchemaError):
+            plan_expression(
+                classic_division_expr(),
+                PlannerOptions(division_method="quantum"),
+            )
+
+
+class TestOperatorChoice:
+    def test_equijoin_uses_hash(self):
+        plan = plan_expression(parse("R join[2=1] S", SCHEMA))
+        assert isinstance(plan, HashJoinOp)
+
+    def test_cartesian_uses_nested_loop(self):
+        plan = plan_expression(parse("R cartesian S", SCHEMA))
+        assert isinstance(plan, NestedLoopJoinOp)
+        assert "dichotomy" in plan.note
+
+    def test_order_join_uses_nested_loop(self):
+        plan = plan_expression(parse("S join[1<1] S", SCHEMA))
+        assert isinstance(plan, NestedLoopJoinOp)
+
+    def test_equisemijoin_uses_hash(self):
+        plan = plan_expression(parse("R semijoin[2=1] S", SCHEMA))
+        assert isinstance(plan, HashSemijoinOp)
+
+    def test_order_semijoin_uses_nested_loop(self):
+        plan = plan_expression(parse("R semijoin[2<1] S", SCHEMA))
+        assert isinstance(plan, NestedLoopSemijoinOp)
+
+    def test_projected_join_becomes_semijoin(self):
+        plan = plan_expression(parse("project[1](R join[2=1] S)", SCHEMA))
+        assert isinstance(plan, ProjectOp)
+        assert isinstance(plan.child, HashSemijoinOp)
+
+    def test_projected_join_right_side_mirrored(self):
+        plan = plan_expression(parse("project[3](R join[2=1] S)", SCHEMA))
+        assert isinstance(plan, ProjectOp)
+        assert isinstance(plan.child, HashSemijoinOp)
+        # The semijoin's left operand is the right join operand.
+        assert plan.child.left.logical == Rel("S", 1)
+        assert plan.positions == (1,)
+
+    def test_semijoin_introduction_can_be_disabled(self):
+        options = PlannerOptions(introduce_semijoins=False)
+        plan = plan_expression(
+            parse("project[1](R join[2=1] S)", SCHEMA), options
+        )
+        assert isinstance(plan.child, HashJoinOp)
+
+    def test_stacked_selections_fuse(self):
+        expr = parse(
+            "select[1=2](select[2<3](T))", Schema({"T": 3})
+        )
+        plan = plan_expression(
+            expr, PlannerOptions(push_selections=False)
+        )
+        assert isinstance(plan, FilterOp)
+        assert len(plan.predicates) == 2
+
+    def test_scan_checks_arity(self, db):
+        with pytest.raises(ArityError):
+            run(rel("R", 3), db)
+
+
+class TestExecutor:
+    def test_results_match_structural_evaluator(self, db):
+        for text in (
+            "R join[2=1] S",
+            "project[1](R join[2=1] S)",
+            "R cartesian S",
+            "R semijoin[2=1] S",
+            "project[2,1](R) minus (R semijoin[2=1] R)",
+            "tag[5](S) union project[1,1](S)",
+        ):
+            expr = parse(text, SCHEMA)
+            assert run(expr, db) == evaluate(
+                expr, db, use_engine=False
+            ), text
+
+    def test_index_reused_across_subplans(self, db):
+        # Both joins probe S on column 1: one index build, one reuse.
+        expr = parse("(R join[2=1] S) union (R join[2=1] S)", SCHEMA)
+        executor = Executor(db)
+        executor.execute(plan_expression(expr))
+        assert executor.stats.indexes_built == 1
+
+    def test_index_reused_across_queries(self, db):
+        executor = Executor(db)
+        executor.execute(plan_expression(parse("R join[2=1] S", SCHEMA)))
+        built = executor.stats.indexes_built
+        executor.execute(
+            plan_expression(parse("R semijoin[2=1] S", SCHEMA))
+        )
+        assert executor.stats.indexes_built == built
+        assert executor.stats.index_reuses >= 1
+
+    def test_executor_bound_to_database(self, db):
+        other = database({"R": 2, "S": 1}, R=[(9, 9)])
+        executor = Executor(db)
+        with pytest.raises(SchemaError):
+            execute_plan(
+                plan_expression(parse("R", SCHEMA)), other, executor
+            )
+
+    def test_stats_report_renders(self, db):
+        executor = Executor(db)
+        executor.execute(plan_expression(parse("R join[2=1] S", SCHEMA)))
+        report = executor.stats.report()
+        assert "max intermediate" in report
+        assert "HashJoin" in report
+
+
+class TestDivisionSemantics:
+    def test_empty_divisor_classic_returns_candidates(self):
+        db = database({"R": 2, "S": 1}, R=[(1, 7), (2, 9)])
+        expr = classic_division_expr()
+        assert run(expr, db) == evaluate(expr, db, use_engine=False)
+        assert run(expr, db) == frozenset({(1,), (2,)})
+
+    def test_empty_divisor_gamma_returns_empty(self):
+        db = database({"R": 2, "S": 1}, R=[(1, 7), (2, 9)])
+        for expr in (
+            containment_division_plan(),
+            equality_division_plan(),
+        ):
+            assert run(expr, db) == evaluate_extended(expr, db)
+            assert run(expr, db) == frozenset()
+
+    def test_execute_division_plan_matches_reference(self, db):
+        result = execute_division_plan(db)
+        assert result == evaluate_extended(containment_division_plan(), db)
+        assert {a for (a,) in result} == divide_reference(db["R"], db["S"])
+
+    def test_execute_division_plan_eq(self, db):
+        result = execute_division_plan(db, eq=True)
+        assert result == evaluate_extended(equality_division_plan(), db)
+
+    def test_physical_division_plan_is_division_op(self):
+        assert isinstance(physical_division_plan(), DivisionOp)
+        assert isinstance(physical_division_plan(eq=True), DivisionOp)
+
+    def test_division_on_generated_workload(self):
+        db = division_database(
+            num_keys=30, divisor_size=5, hit_fraction=0.4, seed=11
+        )
+        expr = classic_division_expr()
+        assert run(expr, db) == evaluate(expr, db, use_engine=False)
+
+
+class TestEngineBeatsClassicPlan:
+    """The acceptance claim: on the Fig. 5 / Prop. 26 quadratic division
+    witness family, the engine-selected plan beats the classic RA plan
+    by ≥ 5× in peak intermediate size at the largest seeded size."""
+
+    def test_linear_vs_quadratic_intermediates(self):
+        expr = classic_division_expr()
+        sizes = (16, 32, 64)
+        ratios = []
+        for n in sizes:
+            db = crossproduct_division_family(n)
+            classic_max = trace(expr, db).max_intermediate()
+            executor = Executor(db)
+            engine_result = executor.execute(plan_expression(expr))
+            assert engine_result == evaluate(expr, db, use_engine=False)
+            ratios.append(classic_max / executor.stats.max_intermediate())
+        assert ratios[-1] >= 5.0
+        # And the separation grows with n — quadratic vs linear.
+        assert ratios[0] < ratios[1] < ratios[2]
+
+    def test_engine_intermediates_stay_linear(self):
+        expr = classic_division_expr()
+        peaks = []
+        for n in (16, 32, 64):
+            db = crossproduct_division_family(n)
+            executor = Executor(db)
+            executor.execute(plan_expression(expr))
+            peaks.append((db.size(), executor.stats.max_intermediate()))
+        for size, peak in peaks:
+            assert peak <= size
+
+
+class TestExplain:
+    def test_explain_contains_operators_and_logical(self):
+        text = explain(classic_division_expr())
+        assert "Division[hash" in text
+        assert " :: " in text
+
+    def test_explain_analyze_prefixes_verdict(self):
+        text = explain(
+            parse("R cartesian S", SCHEMA), schema=SCHEMA, analyze=True
+        )
+        assert text.startswith("-- dichotomy: quadratic")
+
+    def test_explain_analyze_requires_schema(self):
+        with pytest.raises(SchemaError):
+            explain(parse("R cartesian S", SCHEMA), analyze=True)
+
+
+class TestEvaluatorIntegration:
+    def test_plain_evaluate_routes_through_engine(self, db):
+        # The engine understands γ nodes without the extension hook.
+        assert evaluate(containment_division_plan(), db) == (
+            evaluate_extended(containment_division_plan(), db)
+        )
+
+    def test_explicit_engine_with_memo_rejected(self, db):
+        # A memo cannot be populated by the engine (it executes a
+        # rewritten plan, not the expression as written).
+        with pytest.raises(SchemaError):
+            evaluate(classic_division_expr(), db, {}, use_engine=True)
+
+    def test_run_reuses_cached_executor_indexes(self, db):
+        import repro.engine as engine_module
+
+        engine_module._executors.clear()
+        run(parse("R join[2=1] S", SCHEMA), db)
+        run(parse("R semijoin[2=1] S", SCHEMA), db)
+        executor = engine_module._executors[db]
+        assert executor.indexes.builds == 1
+        assert executor.indexes.reuses >= 1
+
+    def test_run_does_not_pin_query_results(self, db):
+        import repro.engine as engine_module
+
+        engine_module._executors.clear()
+        run(parse("R cartesian S", SCHEMA), db)
+        # Only index state survives a top-level query; the result memo
+        # is reset so repeated calls recompute (and big relations are
+        # never pinned by the module-level cache).
+        executor = engine_module._executors[db]
+        assert executor._memo == {}
+        assert executor.stats.node_rows == {}
+
+    def test_run_evicts_index_heavy_executors(self, db, monkeypatch):
+        import repro.engine as engine_module
+
+        monkeypatch.setattr(engine_module, "_EXECUTOR_ROWS_BOUND", 1)
+        engine_module._executors.clear()
+        run(parse("R join[2=1] S", SCHEMA), db)
+        assert db not in engine_module._executors
+
+    def test_memo_selects_structural_path(self, db):
+        memo = {}
+        expr = classic_division_expr()
+        evaluate(expr, db, memo)
+        # The structural path records every logical sub-expression,
+        # including the quadratic cross product the engine never builds.
+        cross = next(
+            node for node in expr.subexpressions() if isinstance(node, Join)
+        )
+        assert cross in memo
+        assert len(memo[cross]) == len({a for a, __ in db["R"]}) * len(
+            db["S"]
+        )

@@ -1,0 +1,92 @@
+"""Plan explanations stay parseable: the printer↔parser roundtrip.
+
+Every physical plan node carries the logical expression it computes,
+and ``explain()`` renders it after ``' :: '`` in the parseable ASCII
+syntax.  For engine-supported (core RA/SA) expressions, that text must
+parse back to exactly the logical expression — otherwise EXPLAIN
+output drifts away from the language and plans stop being auditable.
+"""
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.algebra.ast import is_ra, is_sa
+from repro.algebra.parser import parse
+from repro.algebra.printer import to_ascii
+from repro.engine import PlannerOptions, plan_expression
+from repro.engine.plan import DivisionOp
+from repro.setjoins.division import classic_division_expr, small_divisor_expr
+from tests.strategies import TEST_SCHEMA, expressions
+
+ROUNDTRIP = settings(
+    max_examples=120,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+#: The part of an explain line that renders the node's logical
+#: expression.
+SEPARATOR = " :: "
+
+
+def _logical_texts(plan) -> list[str]:
+    """The ``' :: '`` tail of every line of the explain output."""
+    texts = []
+    for line in plan.explain().splitlines():
+        assert SEPARATOR in line, line
+        texts.append(line.split(SEPARATOR, 1)[1])
+    return texts
+
+
+@ROUNDTRIP
+@given(expressions(max_depth=4))
+def test_plan_node_logicals_roundtrip(expr):
+    plan = plan_expression(expr)
+    for node in plan.nodes():
+        rendered = to_ascii(node.logical)
+        assert parse(rendered, TEST_SCHEMA) == node.logical
+
+
+@ROUNDTRIP
+@given(expressions(max_depth=4))
+def test_explain_output_lines_parse(expr):
+    plan = plan_expression(expr)
+    for text in _logical_texts(plan):
+        parse(text, TEST_SCHEMA)  # must not raise
+
+
+@ROUNDTRIP
+@given(expressions(max_depth=3))
+def test_roundtrip_survives_disabled_rewrites(expr):
+    options = PlannerOptions(
+        push_selections=False, introduce_semijoins=False
+    )
+    plan = plan_expression(expr, options)
+    for node in plan.nodes():
+        assert parse(to_ascii(node.logical), TEST_SCHEMA) == node.logical
+
+
+def test_division_op_logical_roundtrips():
+    """The DivisionOp's logical is the whole classic RA plan."""
+    schema = {"R": 2, "S": 1}
+    plan = plan_expression(classic_division_expr())
+    assert isinstance(plan, DivisionOp)
+    rendered = to_ascii(plan.logical)
+    assert parse(rendered, schema) == classic_division_expr()
+
+
+def test_small_divisor_plan_roundtrips():
+    schema = {"R": 2, "S": 1}
+    expr = small_divisor_expr([7, 8, 9])
+    plan = plan_expression(expr, PlannerOptions(push_selections=False))
+    for node in plan.nodes():
+        assert parse(to_ascii(node.logical), schema) == node.logical
+
+
+@ROUNDTRIP
+@given(expressions(max_depth=4))
+def test_fragment_predicates_preserved_by_rendering(expr):
+    """Rendering does not smuggle nodes across fragments."""
+    back = parse(to_ascii(expr), TEST_SCHEMA)
+    assert is_ra(back) == is_ra(expr)
+    assert is_sa(back) == is_sa(expr)
