@@ -4,6 +4,7 @@ Subcommands::
 
     repro eval     -d db.json 'project[1](R join[2=1] S)'   # engine-backed
     repro explain  'R cartesian S' --schema 'R:2,S:1'       # physical plan
+    repro explain  -d db.json --costs 'R join[2=1] S'       # + cost estimates
     repro trace    -d db.json 'project[1](R) cartesian S'
     repro classify -d db.json 'R cartesian S'           # db optional
     repro compile  'R join[2=1] S' --schema 'R:2,S:1'
@@ -91,8 +92,9 @@ def _cmd_explain(args) -> int:
     from repro.engine import Executor, plan_expression
     from repro.engine.planner import explain as explain_plan
 
-    # Load the database once: it provides the schema and, if present,
-    # is also executed against below (EXPLAIN ANALYZE-style).
+    # Load the database once: it provides the schema, the statistics
+    # behind cost-based planning, and, if present, is also executed
+    # against below (EXPLAIN ANALYZE-style).
     db = _load_database(args.database) if args.database else None
     if db is not None:
         schema = db.schema
@@ -102,10 +104,24 @@ def _cmd_explain(args) -> int:
         raise ReproError("provide --database or --schema")
     expr = parse(args.expression, schema)
     # Plan once: the plan printed is the plan executed and measured.
-    plan = plan_expression(expr)
-    print(explain_plan(expr, schema=schema, analyze=args.analyze, plan=plan))
-    if db is not None:
-        executor = Executor(db)
+    # With a database the plan is cost-based (real statistics); with
+    # only a schema it falls back to the structural rules, and --costs
+    # annotates from the zero-stats default assumptions.
+    executor = Executor(db) if db is not None else None
+    catalog = executor.catalog if executor is not None else None
+    plan = executor.plan(expr) if executor is not None else plan_expression(expr)
+    print(
+        explain_plan(
+            expr,
+            schema=schema,
+            analyze=args.analyze,
+            plan=plan,
+            costs=args.costs,
+            catalog=catalog,
+            cost_model=executor.cost_model if executor is not None else None,
+        )
+    )
+    if executor is not None:
         result = executor.execute(plan)
         print(f"-- {len(result)} row(s)", file=sys.stderr)
         print(executor.stats.report(), file=sys.stderr)
@@ -242,6 +258,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--analyze",
         action="store_true",
         help="prefix the Theorem 17 dichotomy verdict",
+    )
+    p_explain.add_argument(
+        "--costs",
+        action="store_true",
+        help="annotate each operator with the cost model's estimated "
+        "rows, sound upper bound, and cost (statistics come from -d; "
+        "schema-only estimates use default assumptions)",
     )
     p_explain.set_defaults(fn=_cmd_explain)
 

@@ -131,6 +131,21 @@ class Database:
     def __iter__(self) -> Iterator[str]:
         return iter(self.schema)
 
+    def version_token(self) -> int:
+        """A token identifying the *current* relation contents.
+
+        Unlike ``hash(self)`` this is recomputed from the relation
+        frozensets on every call (each frozenset caches its own hash, so
+        the recomputation is cheap).  Caches keyed by a database — the
+        engine's per-database executors with their hash indexes, plan
+        memos, and statistics — compare tokens to detect that contents
+        changed underneath them (e.g. a storage backend swapping a
+        relation behind the same handle) and must be invalidated.
+        """
+        return hash(
+            tuple(self._relations[name] for name in self.schema)
+        )
+
     # ------------------------------------------------------------------
     # Structural operations (all return new databases)
     # ------------------------------------------------------------------

@@ -8,10 +8,18 @@ algorithm one level down.  This package is the layer that acts on that:
 * :mod:`repro.engine.plan` — physical operator nodes (hash join,
   hash semijoin, the division-algorithm zoo, grouping) with
   EXPLAIN-style rendering;
+* :mod:`repro.engine.stats` — exact per-relation statistics
+  (cardinality, distinct counts, most-common-value sketches),
+  collected lazily per database;
+* :mod:`repro.engine.cost` — the cardinality/cost estimator: point
+  estimates, sound upper bounds (AGM-style on equi-join chains), and
+  cumulative operator costs;
 * :mod:`repro.engine.planner` — structural recognition of division
-  patterns plus dichotomy-informed operator choice;
+  patterns plus cost-based operator choice and join ordering, with
+  the structural rules as the zero-stats fallback;
 * :mod:`repro.engine.executor` — memoizing streaming execution with a
-  per-database hash-index cache shared across sub-plans and queries.
+  per-database hash-index cache, the statistics catalog, and a
+  version token guarding both against content changes.
 
 Typical use::
 
@@ -26,11 +34,11 @@ See ``docs/engine.md`` for the architecture and the routing rules.
 from __future__ import annotations
 
 from collections import OrderedDict
-from functools import lru_cache
 
 from repro.algebra.ast import Expr
 from repro.algebra.evaluator import Relation
 from repro.data.database import Database
+from repro.engine.cost import CostModel, Estimate, estimate_plan
 from repro.engine.executor import ExecutionStats, Executor, IndexCache, execute_plan
 from repro.engine.plan import DivisionOp, PlanNode
 from repro.engine.planner import (
@@ -41,28 +49,27 @@ from repro.engine.planner import (
     match_division,
     plan_expression,
 )
+from repro.engine.stats import StatsCatalog
 
 __all__ = [
     "DEFAULT_OPTIONS",
+    "CostModel",
     "DivisionOp",
+    "Estimate",
     "ExecutionStats",
     "Executor",
     "IndexCache",
     "PlanNode",
     "Planner",
     "PlannerOptions",
+    "StatsCatalog",
+    "estimate_plan",
     "execute_plan",
     "explain",
     "match_division",
     "plan_expression",
     "run",
 ]
-
-
-#: Plans are pure functions of (expression, options); hot loops —
-#: classification probes, bisimulation checks — evaluate the same
-#: small expressions over and over, so planning is memoized globally.
-_cached_plan = lru_cache(maxsize=1024)(plan_expression)
 
 #: Executors bound to recently seen databases, so back-to-back queries
 #: against the same database share the hash-index cache even when the
@@ -96,19 +103,24 @@ def run(
 ) -> Relation:
     """Plan ``expr`` and execute it on ``db``.
 
-    Plans are cached per (expression, options), and executors are
-    reused per database so repeated calls share hash-index builds;
-    each call recomputes its result (the per-query memo is reset
-    between calls).  Pass an :class:`Executor` bound to ``db`` to
+    Planning is **cost-based**: the executor bound to ``db`` owns the
+    statistics catalog, so :meth:`Executor.plan` prices operator
+    choices against this database's actual cardinalities (with the
+    structural rules as the zero-stats fallback) and memoizes the plan
+    per (expression, options, contents version).  Executors are reused
+    per database so repeated calls share hash-index builds and
+    statistics; each call recomputes its result (the per-query memo is
+    reset between calls).  Pass an :class:`Executor` bound to ``db`` to
     manage reuse explicitly — caller-managed executors keep their
     result memo across :meth:`~Executor.execute` calls.
     """
-    plan = _cached_plan(expr, options)
     if executor is None:
         executor = _executor_for(db)
+        plan = executor.plan(expr, options)
         result = execute_plan(plan, db, executor)
         executor.reset_query_state()
         if executor.indexes.rows_indexed > _EXECUTOR_ROWS_BOUND:
             _executors.pop(db, None)
         return result
+    plan = executor.plan(expr, options)
     return execute_plan(plan, db, executor)

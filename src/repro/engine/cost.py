@@ -1,0 +1,616 @@
+"""Cardinality and cost estimation over physical plans.
+
+:class:`CostModel` walks a plan bottom-up and assigns every operator an
+:class:`Estimate` with two cardinality figures and one work figure:
+
+* ``rows`` — the point estimate, built from textbook selectivities
+  (equality ``1/max(d_i, d_j)`` over distinct counts, ``1/3`` for
+  order comparisons) and used for cost comparisons;
+* ``upper`` — a **sound upper bound** on the actual output
+  cardinality.  When the model has exact statistics
+  (:class:`~repro.engine.stats.StatsCatalog` profiles frozensets, so
+  its counts are exact) every composition rule preserves soundness:
+  projections/filters/semijoins cannot grow their input, unions add,
+  joins multiply — tightened by most-common-value frequency bounds and
+  by an **AGM-style bound** (Atserias–Grohe–Marx) on equi-join chains
+  over base relations, computed from a feasible fractional edge cover
+  of the join's hypergraph.  ``tests/test_engine_cost.py`` property-
+  tests the soundness claim on random databases;
+* ``cost`` — cumulative estimated row operations (builds, probes,
+  emitted rows), the quantity the planner minimizes.
+
+Each estimate also carries per-column **sound upper bounds on distinct
+counts** (``distinct``), which is what lets equality selectivities
+propagate through the tree, and a ``sound`` flag: without a catalog the
+model falls back to fixed default assumptions (``DEFAULT_ROWS`` per
+relation) that still rank plans but certify nothing — ``upper`` is then
+infinite and ``sound`` is False.  The planner treats that zero-stats
+mode as "keep the structural rules".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from itertools import product
+
+from repro.engine.plan import (
+    DifferenceOp,
+    DivisionOp,
+    FilterOp,
+    GroupByOp,
+    HashJoinOp,
+    HashSemijoinOp,
+    NestedLoopJoinOp,
+    NestedLoopSemijoinOp,
+    PlanNode,
+    ProjectOp,
+    ScanOp,
+    SortOp,
+    TagOp,
+    UnionOp,
+)
+from repro.engine.stats import StatsCatalog
+from repro.errors import SchemaError
+
+#: Selectivity assumed for ``<`` / ``>`` comparisons (System R's third).
+INEQUALITY_SELECTIVITY = 1.0 / 3.0
+
+#: Zero-stats default assumptions: every relation is assumed to hold
+#: this many rows with ``sqrt(rows)`` distinct values per column.
+DEFAULT_ROWS = 1000.0
+
+#: Join chains with at most this many base-relation leaves get the
+#: enumerated fractional-edge-cover AGM bound; longer chains fall back
+#: to the (still sound) pairwise product bound.
+AGM_MAX_EDGES = 7
+
+_INF = math.inf
+
+
+@dataclass(frozen=True)
+class Estimate:
+    """One operator's estimated output and cost (see module docstring)."""
+
+    rows: float
+    upper: float
+    cost: float
+    distinct: tuple[float, ...]
+    sound: bool
+
+    def __post_init__(self) -> None:
+        # Keep the point estimate inside the certified bound.
+        if self.rows > self.upper:
+            object.__setattr__(self, "rows", self.upper)
+
+    def render(self) -> str:
+        """Compact text for EXPLAIN annotations (no ``' :: '`` inside)."""
+        return (
+            f"~rows={_fmt(self.rows)} ub={_fmt(self.upper)} "
+            f"cost={_fmt(self.cost)}"
+        )
+
+
+def _fmt(x: float) -> str:
+    if not math.isfinite(x):  # ∞ (nothing certified) — or a NaN bug
+        return "?"
+    if x == int(x) and abs(x) < 1e15:
+        return str(int(x))
+    return f"{x:.3g}"
+
+
+def _mul(a: float, b: float) -> float:
+    """``a·b`` with ``0·∞ = 0``: an empty side empties the product.
+
+    IEEE would make it NaN, which then poisons every bound above it.
+    """
+    if a == 0.0 or b == 0.0:
+        return 0.0
+    return a * b
+
+
+def _cap_distinct(distinct: tuple[float, ...], upper: float) -> tuple[float, ...]:
+    return tuple(min(d, upper) for d in distinct)
+
+
+class CostModel:
+    """Estimate cardinalities and costs for plan nodes.
+
+    One model per (catalog, moment): estimates are memoized per node,
+    so a planner comparing many candidate sub-plans shares the work for
+    common subtrees.  The catalog's statistics must describe the
+    database the plan will run against, or the ``sound`` flags lie.
+    """
+
+    def __init__(self, catalog: StatsCatalog | None = None) -> None:
+        self.catalog = catalog
+        self._memo: dict[PlanNode, Estimate] = {}
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+
+    def estimate(self, node: PlanNode) -> Estimate:
+        cached = self._memo.get(node)
+        if cached is not None:
+            return cached
+        computed = self._estimate(node)
+        self._memo[node] = computed
+        return computed
+
+    def estimates(self, plan: PlanNode) -> dict[PlanNode, Estimate]:
+        """Estimates for every node of ``plan`` (post-order keys)."""
+        return {node: self.estimate(node) for node in plan.nodes()}
+
+    def __len__(self) -> int:
+        """Memoized node count — callers recycle models grown too big."""
+        return len(self._memo)
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    def _estimate(self, node: PlanNode) -> Estimate:
+        if isinstance(node, ScanOp):
+            return self._scan(node)
+        if isinstance(node, UnionOp):
+            return self._union(node)
+        if isinstance(node, DifferenceOp):
+            return self._difference(node)
+        if isinstance(node, ProjectOp):
+            return self._project(node)
+        if isinstance(node, FilterOp):
+            return self._filter(node)
+        if isinstance(node, TagOp):
+            return self._tag(node)
+        if isinstance(node, (HashJoinOp, NestedLoopJoinOp)):
+            return self._join(node)
+        if isinstance(node, (HashSemijoinOp, NestedLoopSemijoinOp)):
+            return self._semijoin(node)
+        if isinstance(node, DivisionOp):
+            return self._division(node)
+        if isinstance(node, GroupByOp):
+            return self._group_by(node)
+        if isinstance(node, SortOp):
+            child = self.estimate(node.child)
+            return Estimate(
+                child.rows,
+                child.upper,
+                child.cost + child.rows,
+                child.distinct,
+                child.sound,
+            )
+        raise SchemaError(
+            f"cost model: unknown plan node {type(node).__name__}"
+        )
+
+    # ------------------------------------------------------------------
+    # Leaves
+    # ------------------------------------------------------------------
+
+    def _scan(self, node: ScanOp) -> Estimate:
+        if self.catalog is None:
+            distinct = (math.sqrt(DEFAULT_ROWS),) * node.arity
+            return Estimate(DEFAULT_ROWS, _INF, DEFAULT_ROWS, distinct, False)
+        stats = self.catalog.relation(node.expr.name)
+        rows = float(stats.rows)
+        distinct = tuple(float(c.distinct) for c in stats.columns)
+        if len(distinct) != node.arity:
+            # Plan/schema arity mismatch: the executor will raise a
+            # clean ArityError at run time; keep estimation total so
+            # planning never crashes first.
+            distinct = (distinct + (rows,) * node.arity)[: node.arity]
+        return Estimate(rows, rows, rows, distinct, True)
+
+    # ------------------------------------------------------------------
+    # Unary operators
+    # ------------------------------------------------------------------
+
+    def _union(self, node: UnionOp) -> Estimate:
+        left, right = self.estimate(node.left), self.estimate(node.right)
+        upper = left.upper + right.upper
+        distinct = _cap_distinct(
+            tuple(l + r for l, r in zip(left.distinct, right.distinct)),
+            upper,
+        )
+        return Estimate(
+            left.rows + right.rows,
+            upper,
+            left.cost + right.cost + left.rows + right.rows,
+            distinct,
+            left.sound and right.sound,
+        )
+
+    def _difference(self, node: DifferenceOp) -> Estimate:
+        left, right = self.estimate(node.left), self.estimate(node.right)
+        return Estimate(
+            left.rows,
+            left.upper,
+            left.cost + right.cost + left.rows + right.rows,
+            left.distinct,
+            left.sound and right.sound,
+        )
+
+    def _project(self, node: ProjectOp) -> Estimate:
+        child = self.estimate(node.child)
+        # Output rows are determined by the values at the *distinct*
+        # source positions, so the product of their distinct counts
+        # bounds the output (sound: each factor is a sound bound).
+        combos = 1.0
+        for position in sorted(set(node.positions)):
+            combos *= max(child.distinct[position - 1], 1.0)
+        upper = min(child.upper, combos) if child.sound else child.upper
+        distinct = _cap_distinct(
+            tuple(child.distinct[p - 1] for p in node.positions), upper
+        )
+        return Estimate(
+            min(child.rows, combos),
+            upper,
+            child.cost + child.rows,
+            distinct,
+            child.sound,
+        )
+
+    def _filter(self, node: FilterOp) -> Estimate:
+        child = self.estimate(node.child)
+        selectivity, upper = 1.0, child.upper
+        for op, i, j in node.predicates:
+            if i == j:
+                if op == "<":  # σ_{i<i} is unsatisfiable
+                    selectivity, upper = 0.0, 0.0
+                continue  # σ_{i=i} keeps everything
+            if op == "=":
+                d = max(child.distinct[i - 1], child.distinct[j - 1], 1.0)
+                selectivity /= d
+            else:
+                selectivity *= INEQUALITY_SELECTIVITY
+        distinct = _cap_distinct(child.distinct, upper)
+        return Estimate(
+            child.rows * selectivity,
+            upper,
+            child.cost + child.rows,
+            distinct,
+            child.sound,
+        )
+
+    def _tag(self, node: TagOp) -> Estimate:
+        child = self.estimate(node.child)
+        return Estimate(
+            child.rows,
+            child.upper,
+            child.cost + child.rows,
+            child.distinct + (1.0,),
+            child.sound,
+        )
+
+    # ------------------------------------------------------------------
+    # Joins
+    # ------------------------------------------------------------------
+
+    def _join_selectivity(self, cond, left: Estimate, right: Estimate) -> float:
+        selectivity = 1.0
+        for atom in cond:
+            if atom.op == "=":
+                d = max(
+                    left.distinct[atom.i - 1],
+                    right.distinct[atom.j - 1],
+                    1.0,
+                )
+                selectivity /= d
+            elif atom.op in ("<", ">"):
+                selectivity *= INEQUALITY_SELECTIVITY
+            # "!=" filters almost nothing: selectivity 1 is the bound.
+        return selectivity
+
+    def _join(self, node: HashJoinOp | NestedLoopJoinOp) -> Estimate:
+        left, right = self.estimate(node.left), self.estimate(node.right)
+        sound = left.sound and right.sound
+        upper = _mul(left.upper, right.upper)
+        if sound:
+            # MCV refinement: joining into a base relation emits at most
+            # max_freq matches per probe (per equality atom; exact
+            # sketch counts make this a theorem, not a guess) — and for
+            # scan⋈scan the per-value sketches give the tighter
+            # Σ f_L(v)·f_R(v) style bound.
+            left_stats = (
+                self.catalog.relation(node.left.expr.name)
+                if isinstance(node.left, ScanOp)
+                else None
+            )
+            right_stats = (
+                self.catalog.relation(node.right.expr.name)
+                if isinstance(node.right, ScanOp)
+                else None
+            )
+            for atom in node.cond.by_op("="):
+                if right_stats is not None and atom.j <= right_stats.arity:
+                    upper = min(
+                        upper, left.upper * right_stats.max_freq(atom.j)
+                    )
+                if left_stats is not None and atom.i <= left_stats.arity:
+                    upper = min(
+                        upper, right.upper * left_stats.max_freq(atom.i)
+                    )
+                if (
+                    left_stats is not None
+                    and right_stats is not None
+                    and atom.i <= left_stats.arity
+                    and atom.j <= right_stats.arity
+                ):
+                    upper = min(
+                        upper,
+                        _sketch_join_bound(left_stats, atom.i, right_stats, atom.j),
+                        _sketch_join_bound(right_stats, atom.j, left_stats, atom.i),
+                    )
+            agm = self._agm_bound(node)
+            if agm is not None:
+                upper = min(upper, agm)
+        rows = left.rows * right.rows * self._join_selectivity(
+            node.cond, left, right
+        )
+        distinct = _cap_distinct(left.distinct + right.distinct, upper)
+        out = min(rows, upper)
+        if isinstance(node, HashJoinOp):
+            cost = left.cost + right.cost + right.rows + left.rows + out
+        else:
+            cost = left.cost + right.cost + left.rows * right.rows + out
+        return Estimate(rows, upper, cost, distinct, sound)
+
+    def _semijoin(
+        self, node: HashSemijoinOp | NestedLoopSemijoinOp
+    ) -> Estimate:
+        left, right = self.estimate(node.left), self.estimate(node.right)
+        selectivity = 1.0
+        for atom in node.cond:
+            if atom.op == "=":
+                matched = min(
+                    left.distinct[atom.i - 1], right.distinct[atom.j - 1]
+                )
+                selectivity *= min(
+                    1.0, matched / max(left.distinct[atom.i - 1], 1.0)
+                )
+            elif atom.op in ("<", ">"):
+                selectivity *= 1.0 - INEQUALITY_SELECTIVITY
+        if right.rows == 0:
+            selectivity = 0.0
+        if isinstance(node, HashSemijoinOp):
+            cost = left.cost + right.cost + right.rows + left.rows
+        else:
+            cost = left.cost + right.cost + left.rows * right.rows
+        distinct = _cap_distinct(left.distinct, left.upper)
+        return Estimate(
+            left.rows * selectivity,
+            left.upper,
+            cost,
+            distinct,
+            left.sound and right.sound,
+        )
+
+    # ------------------------------------------------------------------
+    # Division / grouping
+    # ------------------------------------------------------------------
+
+    def _division(self, node: DivisionOp) -> Estimate:
+        dividend = self.estimate(node.dividend)
+        divisor = self.estimate(node.divisor)
+        keys = max(dividend.distinct[0], 0.0)
+        upper = min(keys, dividend.upper)
+        if divisor.rows <= 0:
+            rows = keys if node.empty_divisor == "all" else 0.0
+        else:
+            # Coverage heuristic: a key relates to rows/keys values on
+            # average; it passes when that fan-out reaches the divisor.
+            fanout = dividend.rows / keys if keys else 0.0
+            rows = keys * min(1.0, fanout / divisor.rows)
+        base = dividend.cost + divisor.cost
+        if node.method == "sort_merge":
+            cost = base + dividend.rows * math.log2(dividend.rows + 2)
+        elif node.method == "nested_loop":
+            cost = base + keys * divisor.rows + dividend.rows
+        else:  # hash / counting are single-pass
+            cost = base + dividend.rows + divisor.rows
+        return Estimate(
+            rows,
+            upper,
+            cost,
+            (upper,),
+            dividend.sound and divisor.sound,
+        )
+
+    def _group_by(self, node: GroupByOp) -> Estimate:
+        child = self.estimate(node.child)
+        positions = node.expr.group_positions
+        if not positions:
+            # A single group — and γ_count emits its one row even on
+            # empty input (the SQL convention), so 1 is the bound.
+            upper = 1.0 if child.sound else _INF
+            rows = 1.0
+        else:
+            groups = 1.0
+            for position in sorted(set(positions)):
+                groups *= max(child.distinct[position - 1], 1.0)
+            upper = min(child.upper, groups)
+            rows = min(child.rows, groups)
+        distinct = tuple(child.distinct[p - 1] for p in positions) + (
+            upper,
+        ) * len(node.expr.aggregates)
+        return Estimate(
+            rows,
+            upper,
+            child.cost + child.rows,
+            _cap_distinct(distinct, upper),
+            child.sound,
+        )
+
+    # ------------------------------------------------------------------
+    # AGM bound for equi-join chains over base relations
+    # ------------------------------------------------------------------
+
+    def _agm_bound(self, node: PlanNode) -> float | None:
+        """AGM-style bound for a join subtree, or None when inapplicable.
+
+        Flattens the subtree of ``HashJoinOp``/``NestedLoopJoinOp``
+        nodes into base-relation leaves (``ScanOp`` only — the leaf
+        cardinalities must be exact) plus the equality atoms between
+        them, builds the join hypergraph (variables = equivalence
+        classes of equated columns, hyperedges = leaves), and returns
+        ``Π |R_e|^{x_e}`` for the best feasible fractional edge cover
+        ``x`` found by enumerating half-integral assignments.  Any
+        feasible cover yields a sound bound (AGM); half-integral
+        enumeration finds the optimum on the graph-shaped (≤ binary
+        leaf) instances that positional conditions produce.  Non-
+        equality atoms only filter the output, so ignoring them keeps
+        the bound sound.
+        """
+        if self.catalog is None:
+            return None
+        flat = _flatten_join(node)
+        if flat is None:
+            return None
+        leaves, atoms = flat
+        if len(leaves) < 2 or len(leaves) > AGM_MAX_EDGES:
+            return None
+        # Union-find over global column indexes: '=' atoms merge.
+        offsets, total = [], 0
+        for leaf in leaves:
+            offsets.append(total)
+            total += leaf.arity
+        parent = list(range(total))
+
+        def find(a: int) -> int:
+            while parent[a] != a:
+                parent[a] = parent[parent[a]]
+                a = parent[a]
+            return a
+
+        for gi, op, gj in atoms:
+            if op == "=":
+                parent[find(gi)] = find(gj)
+        variables = {find(col) for col in range(total)}
+        edges = []
+        cards = []
+        for index, leaf in enumerate(leaves):
+            start = offsets[index]
+            edges.append(
+                frozenset(
+                    find(col) for col in range(start, start + leaf.arity)
+                )
+            )
+            cards.append(
+                float(self.catalog.relation(leaf.expr.name).rows)
+            )
+        best = math.prod(cards)  # the all-ones cover, always feasible
+        for assignment in product((0.0, 0.5, 1.0), repeat=len(edges)):
+            covered: dict[int, float] = {v: 0.0 for v in variables}
+            for weight, edge in zip(assignment, edges):
+                if weight:
+                    for variable in edge:
+                        covered[variable] += weight
+            if all(total >= 1.0 for total in covered.values()):
+                bound = math.prod(
+                    card**weight
+                    for card, weight in zip(cards, assignment)
+                    if weight
+                )
+                best = min(best, bound)
+        return best
+
+
+def _sketch_join_bound(probe, i: int, build, j: int) -> float:
+    """Sound bound on ``Σ_v f_probe(v)·f_build(v)`` from MCV sketches.
+
+    Each probe-side row with value ``v`` matches exactly ``f_build(v)``
+    build-side rows on one equality atom.  For probe values the sketch
+    retained, ``f_build`` is read exactly (or, if the build sketch
+    dropped the value, bounded by the build sketch's smallest retained
+    count — every unretained value is at most that frequent — or by 0
+    when the sketch is complete).  The probe rows the sketch did not
+    retain are bounded by ``max_freq`` matches each, so the result
+    never exceeds — and with complete sketches equals — the plain
+    ``rows·max_freq`` bound.
+    """
+    probe_col, build_col = probe.columns[i - 1], build.columns[j - 1]
+    if build_col.distinct <= len(build_col.mcv):
+        tail = 0  # complete sketch: unretained values do not occur
+    elif build_col.mcv:
+        tail = build_col.mcv[-1][1]
+    else:
+        tail = 0
+    total, covered = 0.0, 0
+    for value, count in probe_col.mcv:
+        matched = build_col.frequency(value)
+        total += count * (matched if matched is not None else tail)
+        covered += count
+    return total + (probe.rows - covered) * build_col.max_freq
+
+
+class NotFlattenable(Exception):
+    """A leaf failed ``leaf_ok`` during :func:`flatten_join_tree`."""
+
+
+def flatten_join_tree(root, join_types: tuple, leaf_ok=None):
+    """Flatten a binary-join tree into leaves, spans and global atoms.
+
+    The one flattener behind both the planner's join reordering (over
+    logical ``Join`` nodes) and the AGM bound (over physical join
+    operators) — the subtle 1-based-to-global atom arithmetic lives
+    only here.  Works on any nodes with ``left``/``right``/``cond``
+    and an ``arity``; anything not in ``join_types`` is a leaf, vetted
+    by ``leaf_ok`` (raising :class:`NotFlattenable` on refusal).
+
+    Returns ``(leaves, spans, atoms)``: ``spans[k]`` is the ``(start,
+    arity)`` global column range of leaf ``k`` (columns concatenated
+    in written order) and each atom is ``(left_global, op,
+    right_global)`` with 0-based global indexes.  Every atom relates
+    columns of two distinct leaves, because a join condition spans its
+    two operand subtrees.
+    """
+    leaves: list = []
+    spans: list[tuple[int, int]] = []
+    atoms: list[tuple[int, str, int]] = []
+
+    def walk(node, offset: int) -> int:
+        if isinstance(node, join_types):
+            middle = walk(node.left, offset)
+            end = walk(node.right, middle)
+            for atom in node.cond:
+                atoms.append(
+                    (offset + atom.i - 1, atom.op, middle + atom.j - 1)
+                )
+            return end
+        if leaf_ok is not None and not leaf_ok(node):
+            raise NotFlattenable
+        leaves.append(node)
+        spans.append((offset, node.arity))
+        return offset + node.arity
+
+    walk(root, 0)
+    return leaves, spans, atoms
+
+
+def _flatten_join(
+    node: PlanNode,
+) -> tuple[list[ScanOp], list[tuple[int, str, int]]] | None:
+    """Flatten a physical join subtree into scan leaves + atoms.
+
+    Returns None unless every leaf under the join operators is a
+    ``ScanOp`` (derived inputs have no exact cardinality, so no AGM).
+    """
+    if not isinstance(node, (HashJoinOp, NestedLoopJoinOp)):
+        return None
+    try:
+        leaves, __, atoms = flatten_join_tree(
+            node,
+            (HashJoinOp, NestedLoopJoinOp),
+            leaf_ok=lambda leaf: isinstance(leaf, ScanOp),
+        )
+    except NotFlattenable:
+        return None
+    return leaves, atoms
+
+
+def estimate_plan(
+    plan: PlanNode, catalog: StatsCatalog | None = None
+) -> dict[PlanNode, Estimate]:
+    """Estimates for every node of ``plan`` (one-shot convenience)."""
+    return CostModel(catalog).estimates(plan)

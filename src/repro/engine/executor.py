@@ -8,21 +8,36 @@ input on the same columns — e.g. a hash join and a hash semijoin both
 keyed on ``S[1]``, or repeated executions against the same database —
 share one index build.
 
+Alongside the indexes the executor owns a
+:class:`~repro.engine.stats.StatsCatalog` (lazy per-relation statistics)
+and a per-``(expression, options)`` plan memo, so
+:meth:`Executor.plan` produces **cost-based** plans from this
+database's actual cardinalities.  All three caches — indexes, stats,
+plans — are guarded by the database's
+:meth:`~repro.data.database.Database.version_token`: if relation
+contents change under the same handle (a storage backend swapping data
+behind the executor's back), every cache is invalidated before the next
+query rather than served stale.
+
 Unary operators (project/filter/tag) stream over their input via
 generators; results are materialized once per distinct sub-plan, at the
 memo boundary.  :class:`ExecutionStats` records the cardinality of every
 operator's output — the physical analogue of the Definition 16 trace —
 plus index build/reuse counts, which the ENGINE experiment and the
 engine benchmarks assert against the classic plans' quadratic
-intermediates.
+intermediates.  Each execution also records the cost model's
+**estimate next to the actual** output cardinality per operator
+(``ExecutionStats.node_estimates``), which is what the estimator-quality
+tests and benchmarks assert against.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
+from collections import OrderedDict, defaultdict
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
+from repro.algebra.ast import Expr
 from repro.algebra.evaluator import Relation
 from repro.data.database import Database, Row
 from repro.data.universe import Value
@@ -53,9 +68,15 @@ class ExecutionStats:
     ``node_rows`` maps each executed plan node to its output
     cardinality; :meth:`max_intermediate` is the physical counterpart
     of :meth:`repro.algebra.trace.EvalTrace.max_intermediate`.
+    ``node_estimates`` holds the cost model's per-operator
+    :class:`~repro.engine.cost.Estimate` for the same nodes, so
+    estimated and actual cardinalities can be compared after the fact
+    (:meth:`estimation_pairs`; the soundness property tests live in
+    ``tests/test_engine_cost.py``).
     """
 
     node_rows: dict[PlanNode, int] = field(default_factory=dict)
+    node_estimates: dict[PlanNode, object] = field(default_factory=dict)
     indexes_built: int = 0
     index_reuses: int = 0
 
@@ -64,6 +85,14 @@ class ExecutionStats:
 
     def total_rows(self) -> int:
         return sum(self.node_rows.values())
+
+    def estimation_pairs(self):
+        """``(node, actual_rows, estimate)`` for every estimated node."""
+        return tuple(
+            (node, rows, self.node_estimates[node])
+            for node, rows in self.node_rows.items()
+            if node in self.node_estimates
+        )
 
     def report(self) -> str:
         lines = [
@@ -75,7 +104,9 @@ class ExecutionStats:
             self.node_rows.items(), key=lambda kv: -kv[1]
         )
         for node, rows in ordered:
-            lines.append(f"{rows:>8}  {node.label()}")
+            estimate = self.node_estimates.get(node)
+            suffix = f"  ({estimate.render()})" if estimate else ""
+            lines.append(f"{rows:>8}  {node.label()}{suffix}")
         return "\n".join(lines)
 
 
@@ -127,22 +158,117 @@ class IndexCache:
 class Executor:
     """Execute physical plans against one database.
 
-    Keep an executor alive across queries to reuse its memo and index
-    cache; :func:`execute_plan` is the one-shot convenience.
+    Keep an executor alive across queries to reuse its memo, index
+    cache, statistics, and plan memo; :func:`execute_plan` is the
+    one-shot convenience.  All caches are invalidated together when the
+    database's version token changes (see module docstring).
+
+    The plan and estimate memos are LRU-bounded (long-running processes
+    — classification probes, bisimulation loops — plan many distinct
+    small expressions against few databases, so unbounded memos would
+    grow forever), and the shared cost model is recycled once its node
+    memo passes :data:`COST_MEMO_BOUND` (estimates are cheap to
+    recompute; rejected candidate plans would otherwise pin memory).
     """
 
+    #: Max (expression, options) plans and per-plan estimate maps kept.
+    PLAN_CACHE_SIZE = 512
+    #: Max nodes the shared cost model may memoize before recycling.
+    COST_MEMO_BOUND = 50_000
+
     def __init__(self, db: Database) -> None:
+        from repro.engine.cost import CostModel
+        from repro.engine.stats import StatsCatalog
+
         self.db = db
         self.indexes = IndexCache()
         self.stats = ExecutionStats()
+        self.catalog = StatsCatalog(db)
+        #: One cost model for planning *and* execution-time recording,
+        #: so estimates priced during planning are reused, not redone.
+        self.cost_model = CostModel(self.catalog)
         self._memo: dict[PlanNode, Relation] = {}
+        self._plans: "OrderedDict[tuple[Expr, object], PlanNode]" = (
+            OrderedDict()
+        )
+        self._estimates: "OrderedDict[PlanNode, dict[PlanNode, object]]" = (
+            OrderedDict()
+        )
+        self._version = db.version_token()
+
+    def check_version(self) -> None:
+        """Invalidate every cache if the relation contents changed.
+
+        Cheap when nothing changed (one hash over cached frozenset
+        hashes); called before planning and before execution so a
+        mutated database — contents swapped behind the same handle —
+        never gets stale indexes, statistics, plans, or results.
+        """
+        from repro.engine.cost import CostModel
+
+        current = self.db.version_token()
+        if current == self._version:
+            return
+        self._version = current
+        self._memo.clear()
+        self._plans.clear()
+        self._estimates.clear()
+        self.indexes = IndexCache()
+        self.catalog.invalidate()
+        self.cost_model = CostModel(self.catalog)
+        self.stats = ExecutionStats()
+
+    def plan(self, expr: Expr, options=None) -> PlanNode:
+        """Cost-based plan for ``expr`` using this database's statistics.
+
+        Plans are memoized per ``(expression, options)`` and
+        invalidated with the version token — a cost-chosen plan is only
+        valid for the statistics it was priced against.
+        """
+        from repro.engine.planner import DEFAULT_OPTIONS, Planner
+
+        if options is None:
+            options = DEFAULT_OPTIONS
+        self.check_version()
+        key = (expr, options)
+        cached = self._plans.get(key)
+        if cached is not None:
+            self._plans.move_to_end(key)
+            return cached
+        if len(self.cost_model) > self.COST_MEMO_BOUND:
+            from repro.engine.cost import CostModel
+
+            self.cost_model = CostModel(self.catalog)
+        planned = Planner(options, self.catalog, self.cost_model).plan(expr)
+        self._plans[key] = planned
+        while len(self._plans) > self.PLAN_CACHE_SIZE:
+            self._plans.popitem(last=False)
+        return planned
 
     def execute(self, plan: PlanNode) -> Relation:
         """Evaluate ``plan``; returns a ``frozenset`` of rows."""
+        self.check_version()
         result = self._rows(plan)
         self.stats.indexes_built = self.indexes.builds
         self.stats.index_reuses = self.indexes.reuses
+        self.stats.node_estimates.update(self._estimates_for(plan))
         return result
+
+    def _estimates_for(self, plan: PlanNode):
+        """Cost-model estimates for ``plan``, memoized per version.
+
+        Reuses the executor's shared cost model, so nodes already
+        priced during planning are not re-estimated here.
+        """
+        cached = self._estimates.get(plan)
+        if cached is not None:
+            self._estimates.move_to_end(plan)
+            return cached
+        computed = self.cost_model.estimates(plan)
+        self._estimates[plan] = computed
+        while len(self._estimates) > self.PLAN_CACHE_SIZE:
+            self._estimates.popitem(last=False)
+        return computed
 
     def reset_query_state(self) -> None:
         """Drop per-query state (result memo, stats), keep the indexes.

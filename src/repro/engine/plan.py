@@ -24,7 +24,7 @@ evaluator memoizes sub-expressions.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
 from repro.algebra.ast import Expr
 from repro.algebra.conditions import Condition
@@ -69,36 +69,55 @@ class PlanNode:
     # ------------------------------------------------------------------
 
     def nodes(self):
-        """All plan nodes in post-order (self last)."""
+        """All distinct plan nodes in post-order (self last).
+
+        Distinct by identity: the planner memoizes per distinct
+        logical sub-expression, so shared logical subtrees come back
+        as the *same* node object and are yielded once — the walk is
+        linear in the plan DAG, not in its unfolded tree (exponential
+        for the doubling shapes of ``small_divisor_expr``), mirroring
+        the executor's and the cost model's per-distinct-node memos.
+        """
+        return self._nodes(set())
+
+    def _nodes(self, seen: set[int]):
+        if id(self) in seen:
+            return
+        seen.add(id(self))
         for child in self.children():
-            yield from child.nodes()
+            yield from child._nodes(seen)
         yield self
 
     def size(self) -> int:
         return 1 + sum(child.size() for child in self.children())
 
-    def explain(self, indent: str = "") -> str:
+    def explain(self, indent: str = "", annotate=None) -> str:
         """EXPLAIN-style rendering: one line per operator.
 
         Format per line::
 
-            <indent><Label> /<arity><  -- note>  :: <ascii logical>
+            <indent><Label> /<arity>< {annotation}><  -- note>  :: <ascii logical>
 
         The text after ``' :: '`` is the parseable ASCII syntax of the
         node's logical expression (when the logical algebra can print
-        it; extended γ/sort nodes render but do not parse).
+        it; extended γ/sort nodes render but do not parse).  Pass
+        ``annotate``, a callable mapping a node to extra text (e.g. the
+        cost model's per-operator estimates), to enrich each line; the
+        text is inserted before the note and must not contain
+        ``' :: '`` so the logical tail stays machine-splittable.
         """
         from repro.algebra.printer import to_ascii
 
         note = getattr(self, "note", "")
+        extra = f" {{{annotate(self)}}}" if annotate is not None else ""
         suffix = f"  -- {note}" if note else ""
         line = (
-            f"{indent}{self.label()} /{self.arity}{suffix}"
+            f"{indent}{self.label()} /{self.arity}{extra}{suffix}"
             f"  :: {to_ascii(self.logical)}"
         )
         lines = [line]
         for child in self.children():
-            lines.append(child.explain(indent + "  "))
+            lines.append(child.explain(indent + "  ", annotate))
         return "\n".join(lines)
 
     def __str__(self) -> str:
@@ -457,3 +476,40 @@ class SortOp(PlanNode):
 
     def label(self) -> str:
         return "Sort"
+
+
+def _cached_hash(self) -> int:
+    """Hash of the dataclass field tuple, computed once per node.
+
+    The generated frozen-dataclass ``__hash__`` re-hashes the whole
+    subtree on every call, which makes memo-dict lookups on deep
+    shared plans quadratic-to-exponential; caching keeps them O(1)
+    after the first hash (child hashes are themselves cached, so even
+    the first full-plan hash is linear in distinct nodes).  Equality
+    stays the generated structural one.
+    """
+    cached = self.__dict__.get("_hash_value")
+    if cached is None:
+        cached = hash(
+            tuple(getattr(self, f.name) for f in fields(self))
+        )
+        object.__setattr__(self, "_hash_value", cached)
+    return cached
+
+
+for _op in (
+    ScanOp,
+    UnionOp,
+    DifferenceOp,
+    ProjectOp,
+    FilterOp,
+    TagOp,
+    HashJoinOp,
+    NestedLoopJoinOp,
+    HashSemijoinOp,
+    NestedLoopSemijoinOp,
+    DivisionOp,
+    GroupByOp,
+    SortOp,
+):
+    _op.__hash__ = _cached_hash

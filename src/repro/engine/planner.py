@@ -1,5 +1,15 @@
 """The cost-aware planner: logical expressions → physical plans.
 
+The planner runs in one of two modes.  Given a
+:class:`~repro.engine.stats.StatsCatalog` (how
+:meth:`repro.engine.executor.Executor.plan` calls it), operator choice
+is **cost-based**: candidate operators are priced by the
+:class:`~repro.engine.cost.CostModel` and the cheapest wins, with the
+structural choice as the tie-break.  Without statistics (the zero-stats
+fallback — :func:`plan_expression`, or ``use_costs=False``) the
+decisions below fall back to their purely structural forms, which is
+exactly the pre-cost-model behaviour.
+
 Routing rules (documented in ``docs/engine.md``):
 
 1. **Division patterns collapse to direct algorithms.**  The classic
@@ -8,24 +18,38 @@ Routing rules (documented in ``docs/engine.md``):
    γ plans (containment and equality) are recognized structurally and
    replaced by a single linear :class:`~repro.engine.plan.DivisionOp`
    running Graefe's hash division by default.  The empty-divisor
-   semantics of the source expression is preserved exactly.
+   semantics of the source expression is preserved exactly.  Under the
+   cost model the direct operator is kept only while its estimated
+   cost does not exceed the RA plan's (it never does on the witness
+   families — the regression tests pin that no re-quadratification
+   sneaks in).
 2. **Projected joins become semijoins.**  ``π_p̄(E1 ⋈_θ E2)`` with p̄ on
    one side routes through a semijoin operator — the Corollary 19
    move: the join was only a filter, so the quadratic intermediate is
-   never materialized.
+   never materialized.  Costed mode prices both shapes and keeps the
+   semijoin on ties.
 3. **Equality atoms select hash operators.**  Joins/semijoins with at
    least one ``=`` atom run as hash joins (index on the right, probe
    from the left); pure θ/cartesian joins fall back to nested loops
    and the planner records the dichotomy risk
    (:func:`repro.core.classify.join_is_safe`, Definition 20 data from
-   :mod:`repro.core.joininfo`) in the operator's ``note``.
-4. **Selections are pushed toward the leaves** first (reusing
+   :mod:`repro.core.joininfo`) in the operator's ``note``.  Costed
+   mode compares the two (a nested loop beats building a hash table
+   when a side is near-empty).
+4. **≥3-way join chains are reordered by estimated size** (costed mode
+   only): the chain is flattened into its leaves and equality atoms,
+   a greedy smallest-intermediate-first order is built left-deep, and
+   the reordered plan — wrapped in a projection restoring the original
+   column order — replaces the as-written order when its estimated
+   cost is strictly lower.
+5. **Selections are pushed toward the leaves** first (reusing
    :func:`repro.algebra.optimize.push_selections`), then fused into
    single :class:`~repro.engine.plan.FilterOp` nodes.
 
 :func:`plan_expression` is the entry point; :func:`explain` renders the
 chosen plan, optionally with the full Theorem 17 dichotomy verdict from
-:func:`repro.core.dichotomy.analyze`.
+:func:`repro.core.dichotomy.analyze` and (``costs=True``) the cost
+model's per-operator estimates.
 """
 
 from __future__ import annotations
@@ -45,7 +69,6 @@ from repro.algebra.ast import (
 )
 from repro.algebra.conditions import Atom, Condition
 from repro.core.classify import join_is_safe
-from repro.core.joininfo import JoinInfo
 from repro.data.schema import Schema
 from repro.engine.plan import (
     DivisionOp,
@@ -78,12 +101,17 @@ class PlannerOptions:
     ``"nested_loop"`` exist for experiments and ablations).
     ``rewrite_divisions`` / ``introduce_semijoins`` / ``push_selections``
     gate the three rewrites so ablations can isolate each one.
+    ``use_costs`` gates every cost-based decision (it has no effect
+    unless the planner also has a statistics catalog) and
+    ``reorder_joins`` gates the ≥3-way join-order search specifically.
     """
 
     division_method: str = "hash"
     rewrite_divisions: bool = True
     introduce_semijoins: bool = True
     push_selections: bool = True
+    use_costs: bool = True
+    reorder_joins: bool = True
 
 
 DEFAULT_OPTIONS = PlannerOptions()
@@ -279,9 +307,39 @@ class Planner:
     #: which (unlike planning) walks occurrences, not distinct nodes.
     PUSHDOWN_SIZE_LIMIT = 512
 
-    def __init__(self, options: PlannerOptions = DEFAULT_OPTIONS) -> None:
+    #: Join chains with more leaves than this keep their written order
+    #: (the greedy search is quadratic in the leaf count).
+    REORDER_MAX_LEAVES = 8
+
+    def __init__(
+        self,
+        options: PlannerOptions = DEFAULT_OPTIONS,
+        catalog=None,
+        cost_model=None,
+    ) -> None:
+        from repro.engine.cost import CostModel
+
         self.options = options
+        self.catalog = catalog
+        #: One shared model per planning session (callers with a
+        #: longer-lived model — the executor — pass their own):
+        #: estimates of common subtrees are memoized across all
+        #: candidate comparisons.
+        self.cost_model = (
+            cost_model if cost_model is not None else CostModel(catalog)
+        )
         self._memo: dict[Expr, PlanNode] = {}
+        #: Set while pricing a division rewrite's alternative: the one
+        #: node whose division match is suppressed (rewrites below it
+        #: stay on, keeping the cost comparison symmetric).
+        self._no_division_root: Expr | None = None
+
+    def _costed(self) -> bool:
+        """Whether cost-based decisions are in force (stats present)."""
+        return self.catalog is not None and self.options.use_costs
+
+    def _cost(self, node: PlanNode) -> float:
+        return self.cost_model.estimate(node).cost
 
     def plan(self, expr: Expr) -> PlanNode:
         """Plan a logical expression (RA/SA, optionally with γ/Sort)."""
@@ -306,7 +364,7 @@ class Planner:
         return planned
 
     def _plan_node(self, expr: Expr) -> PlanNode:
-        if self.options.rewrite_divisions:
+        if self.options.rewrite_divisions and expr != self._no_division_root:
             match = match_division(expr)
             if match is not None:
                 return self._division(expr, match)
@@ -358,7 +416,7 @@ class Planner:
             "sort_merge": "O(|R| log |R|)",
             "nested_loop": "O(|A|·|S|)",
         }.get(method, "?")  # DivisionOp rejects unknown methods
-        return DivisionOp(
+        division = DivisionOp(
             dividend=self._plan(match.dividend),
             divisor=self._plan(match.divisor),
             method=method,
@@ -368,34 +426,70 @@ class Planner:
             note=f"rewritten from {match.origin}; direct {method} "
             f"division is {cost}",
         )
+        if not self._costed():
+            return division
+        # Price the source RA/γ plan too, suppressing the division
+        # match at this node only: nested division patterns inside the
+        # alternative keep their rewrites (the comparison stays
+        # symmetric), and because the planning memo is shared — the
+        # suppression is a field on *this* planner, saved and restored
+        # around one direct ``_plan_node`` call — each distinct
+        # sub-expression is still planned at most twice, keeping
+        # planning linear even for nested division patterns.  Keep the
+        # direct operator on ties.
+        previous = self._no_division_root
+        self._no_division_root = expr
+        try:
+            structural = self._plan_node(expr)
+        finally:
+            self._no_division_root = previous
+        if self._cost(structural) < self._cost(division):
+            return structural
+        return division
 
     def _projection(self, expr: Projection) -> PlanNode:
         child = expr.child
         if self.options.introduce_semijoins and isinstance(child, Join):
-            left_arity = child.left.arity
-            if all(p <= left_arity for p in expr.positions):
-                semijoin = self._semijoin(
-                    Semijoin(child.left, child.right, child.cond),
-                    self._plan(child.left),
-                    self._plan(child.right),
-                    child.cond,
-                    note="join used only as a filter (Cor. 19): "
-                    "semijoin avoids the join's intermediate",
+            semijoin = self._semijoin_projection(expr, child)
+            if semijoin is not None:
+                if not self._costed():
+                    return semijoin
+                direct = ProjectOp(
+                    self._plan(child), expr.positions, expr
                 )
-                return ProjectOp(semijoin, expr.positions, expr)
-            if all(p > left_arity for p in expr.positions):
-                mirrored = child.cond.mirrored()
-                semijoin = self._semijoin(
-                    Semijoin(child.right, child.left, mirrored),
-                    self._plan(child.right),
-                    self._plan(child.left),
-                    mirrored,
-                    note="join used only as a right-side filter "
-                    "(Cor. 19): mirrored semijoin",
-                )
-                remapped = tuple(p - left_arity for p in expr.positions)
-                return ProjectOp(semijoin, remapped, expr)
+                if self._cost(direct) < self._cost(semijoin):
+                    return direct
+                return semijoin
         return ProjectOp(self._plan(child), expr.positions, expr)
+
+    def _semijoin_projection(
+        self, expr: Projection, child: Join
+    ) -> PlanNode | None:
+        """The Corollary 19 candidate: π over a join on one side only."""
+        left_arity = child.left.arity
+        if all(p <= left_arity for p in expr.positions):
+            semijoin = self._semijoin(
+                Semijoin(child.left, child.right, child.cond),
+                self._plan(child.left),
+                self._plan(child.right),
+                child.cond,
+                note="join used only as a filter (Cor. 19): "
+                "semijoin avoids the join's intermediate",
+            )
+            return ProjectOp(semijoin, expr.positions, expr)
+        if all(p > left_arity for p in expr.positions):
+            mirrored = child.cond.mirrored()
+            semijoin = self._semijoin(
+                Semijoin(child.right, child.left, mirrored),
+                self._plan(child.right),
+                self._plan(child.left),
+                mirrored,
+                note="join used only as a right-side filter "
+                "(Cor. 19): mirrored semijoin",
+            )
+            remapped = tuple(p - left_arity for p in expr.positions)
+            return ProjectOp(semijoin, remapped, expr)
+        return None
 
     def _selection(self, expr: Selection) -> PlanNode:
         # Fuse stacked selections into one FilterOp.
@@ -407,23 +501,166 @@ class Planner:
         return FilterOp(self._plan(node), tuple(predicates), expr)
 
     def _join(self, expr: Join, left: PlanNode, right: PlanNode) -> PlanNode:
-        info = JoinInfo.of(expr)
-        if expr.cond.by_op("="):
-            keys = ",".join(str(j) for __, j in sorted(info.theta_eq()))
+        as_written = self._join_operator(expr, left, right, expr.cond)
+        if self._costed() and self.options.reorder_joins:
+            reordered = self._reorder_join(expr)
+            if reordered is not None and (
+                self._cost(reordered) < self._cost(as_written)
+            ):
+                return reordered
+        return as_written
+
+    def _join_operator(
+        self, expr: Expr, left: PlanNode, right: PlanNode, cond: Condition
+    ) -> PlanNode:
+        """Hash vs nested-loop for one join, costed when stats allow."""
+        try:
+            safe = isinstance(expr, Join) and join_is_safe(expr)
+        except SchemaError:
+            # Extended (γ) operands: the Definition 20 analysis only
+            # reads core RA/SA nodes, so no dichotomy verdict here.
+            safe = True
+        if cond.by_op("="):
+            keys = ",".join(str(a.j) for a in sorted(
+                cond.by_op("="), key=lambda a: a.j
+            ))
             note = f"equality atoms: hash index on right[{keys}]"
-            if not join_is_safe(expr):
+            if isinstance(expr, Join) and not safe:
                 note += (
                     "; dichotomy: no side fully constrained — output "
                     "may still be quadratic (Thm. 17)"
                 )
-            return HashJoinOp(left, right, expr.cond, expr, note=note)
+            hashed = HashJoinOp(left, right, cond, expr, note=note)
+            if not self._costed():
+                return hashed
+            looped = NestedLoopJoinOp(
+                left, right, cond, expr,
+                note="equality atoms, but an input is small enough "
+                "that a nested loop beats building the hash index "
+                "(cost-based)",
+            )
+            if self._cost(looped) < self._cost(hashed):
+                return looped
+            return hashed
         note = (
             "no equality atoms: nested loop; dichotomy: quadratic "
             "candidate space (Thm. 17 / Lemma 24)"
-            if not join_is_safe(expr)
+            if not safe
             else "no equality atoms: nested loop over a constant side"
         )
-        return NestedLoopJoinOp(left, right, expr.cond, expr, note=note)
+        return NestedLoopJoinOp(left, right, cond, expr, note=note)
+
+    # -- cost-based join ordering ---------------------------------------
+
+    def _reorder_join(self, expr: Join) -> PlanNode | None:
+        """A greedy smallest-intermediate-first reordering of a chain.
+
+        Flattens the maximal join subtree rooted at ``expr`` into its
+        leaves and equality/order atoms (over global column positions),
+        rebuilds a left-deep chain greedily — start with the pair of
+        smallest estimated join size, then repeatedly absorb the leaf
+        with the smallest estimated intermediate, preferring leaves
+        connected by at least one atom — and restores the original
+        column order with a final projection.  Every intermediate node
+        carries a genuine equivalent logical expression, so EXPLAIN
+        output stays parseable.  Returns None when the chain has fewer
+        than 3 leaves (nothing to reorder) or the greedy order is the
+        written one.
+        """
+        leaves, spans, atoms = _flatten_logical_join(expr)
+        count = len(leaves)
+        if not 3 <= count <= self.REORDER_MAX_LEAVES:
+            return None
+        estimates = self.cost_model
+        plans = [self._plan(leaf) for leaf in leaves]
+
+        def connected(done: set[int], leaf: int) -> bool:
+            for gi, __, gj in atoms:
+                li, lj = _leaf_of(spans, gi), _leaf_of(spans, gj)
+                if (li == leaf and lj in done) or (lj == leaf and li in done):
+                    return True
+            return False
+
+        def extend(state, done: set[int], leaf: int):
+            """Join ``leaf`` onto the accumulated state.
+
+            Every atom linking ``leaf`` to an already-placed leaf
+            becomes a condition atom of the new join (mirrored when the
+            atom was written the other way around); atoms to leaves not
+            yet placed stay pending for a later step.
+            """
+            acc_expr, acc_plan, placed = state
+            start, __ = spans[leaf]
+            cond_atoms = []
+            for gi, op, gj in atoms:
+                li, lj = _leaf_of(spans, gi), _leaf_of(spans, gj)
+                if li in done and lj == leaf:
+                    cond_atoms.append(Atom(placed[gi], op, gj - start + 1))
+                elif lj in done and li == leaf:
+                    cond_atoms.append(
+                        Atom(gi - start + 1, op, placed[gj]).mirrored()
+                    )
+            cond = Condition(tuple(cond_atoms))
+            joined_expr = Join(acc_expr, leaves[leaf], cond)
+            joined_plan = self._join_operator(
+                joined_expr, acc_plan, plans[leaf], cond
+            )
+            width = acc_expr.arity
+            new_placed = dict(placed)
+            for column in range(leaves[leaf].arity):
+                new_placed[start + column] = width + column + 1
+            return joined_expr, joined_plan, new_placed
+
+        def score_of(plan: PlanNode, *tiebreak: int):
+            estimate = estimates.estimate(plan)
+            return (estimate.rows, estimate.cost) + tiebreak
+
+        # Seed: the cheapest-looking first pair (both orientations).
+        best = None
+        for i in range(count):
+            for j in range(count):
+                if i == j:
+                    continue
+                placed = {
+                    spans[i][0] + c: c + 1 for c in range(leaves[i].arity)
+                }
+                state = extend((leaves[i], plans[i], placed), {i}, j)
+                score = score_of(state[1], i, j)
+                if best is None or score < best[0]:
+                    best = (score, state, [i, j])
+        (__, state, order) = best
+        placed_leaves = set(order)
+        while len(order) < count:
+            candidates = [
+                leaf
+                for leaf in range(count)
+                if leaf not in placed_leaves
+                and connected(placed_leaves, leaf)
+            ] or [leaf for leaf in range(count) if leaf not in placed_leaves]
+            chosen = None
+            for leaf in candidates:
+                extended = extend(state, placed_leaves, leaf)
+                score = score_of(extended[1], leaf)
+                if chosen is None or score < chosen[0]:
+                    chosen = (score, extended, leaf)
+            state = chosen[1]
+            order.append(chosen[2])
+            placed_leaves.add(chosen[2])
+        if order == list(range(count)):
+            return None
+        acc_expr, acc_plan, placed = state
+        permutation = tuple(
+            placed[column] for column in range(expr.arity)
+        )
+        restored = Projection(acc_expr, permutation)
+        return ProjectOp(
+            acc_plan,
+            permutation,
+            restored,
+            note=f"cost-based join order {order} (estimated "
+            "intermediates); projection restores the written column "
+            "order",
+        )
 
     def _semijoin(
         self,
@@ -440,6 +677,29 @@ class Planner:
         extra = "nested-loop semijoin (linear output, |L|·|R| probes)"
         merged = f"{note}; {extra}" if note else extra
         return NestedLoopSemijoinOp(left, right, cond, expr, note=merged)
+
+
+def _flatten_logical_join(
+    expr: Join,
+) -> tuple[list[Expr], list[tuple[int, int]], list[tuple[int, str, int]]]:
+    """Flatten a maximal logical join subtree into leaves/spans/atoms.
+
+    Thin wrapper over :func:`repro.engine.cost.flatten_join_tree` (the
+    same flattener the AGM bound uses on physical operators, so the
+    global-column arithmetic cannot drift apart); any non-``Join``
+    node is a leaf.
+    """
+    from repro.engine.cost import flatten_join_tree
+
+    return flatten_join_tree(expr, (Join,))
+
+
+def _leaf_of(spans: list[tuple[int, int]], column: int) -> int:
+    """The leaf index owning a global column."""
+    for index, (start, arity) in enumerate(spans):
+        if start <= column < start + arity:
+            return index
+    raise SchemaError(f"global column {column} outside all leaf spans")
 
 
 _CORE_NODES = (
@@ -514,6 +774,9 @@ def explain(
     schema: Schema | None = None,
     analyze: bool = False,
     plan: PlanNode | None = None,
+    costs: bool = False,
+    catalog=None,
+    cost_model=None,
 ) -> str:
     """Render the physical plan for ``expr``.
 
@@ -522,6 +785,15 @@ def explain(
     :func:`repro.core.dichotomy.analyze` — the planner's authority for
     routing claims.  Pass a pre-built ``plan`` to render exactly the
     plan some caller is about to execute.
+
+    With ``costs=True`` every operator line carries the cost model's
+    estimate — ``{~rows=<point> ub=<sound upper bound> cost=<work>}``
+    — computed from ``catalog`` statistics when given (how the CLI's
+    ``explain --costs -d db.json`` calls it) and from the zero-stats
+    default assumptions otherwise (``ub`` renders as ``?`` then:
+    nothing is certified without statistics).  Pass the ``cost_model``
+    that priced the plan (e.g. ``executor.cost_model``) to reuse its
+    memoized estimates instead of re-estimating.
     """
     lines: list[str] = []
     if analyze:
@@ -529,6 +801,15 @@ def explain(
             raise SchemaError("explain(analyze=True) needs a schema")
         lines.append(dichotomy_line(expr, schema))
     if plan is None:
-        plan = plan_expression(expr, options)
-    lines.append(plan.explain())
+        if catalog is not None:
+            plan = Planner(options, catalog, cost_model).plan(expr)
+        else:
+            plan = plan_expression(expr, options)
+    annotate = None
+    if costs:
+        from repro.engine.cost import CostModel
+
+        model = cost_model if cost_model is not None else CostModel(catalog)
+        annotate = lambda node: model.estimate(node).render()  # noqa: E731
+    lines.append(plan.explain(annotate=annotate))
     return "\n".join(lines)

@@ -181,6 +181,67 @@ def expressions(
     return Semijoin(left, right, cond)
 
 
+@st.composite
+def dense_databases(
+    draw,
+    schema: Schema = TEST_SCHEMA,
+    max_rows: int = 32,
+    domain: int = 15,
+) -> Database:
+    """Denser random databases for estimator-quality tests.
+
+    The default :func:`databases` strategy keeps relations tiny (≤ 6
+    rows) so brute-force oracles stay fast; cardinality estimation is
+    only interesting when relations differ in size and values collide,
+    hence the wider row budget and value domain here.
+    """
+    values = st.integers(min_value=0, max_value=domain)
+    relations = {
+        name: draw(
+            st.frozensets(
+                st.tuples(*([values] * schema[name])),
+                min_size=0,
+                max_size=max_rows,
+            )
+        )
+        for name in schema
+    }
+    return Database(schema, relations)
+
+
+@st.composite
+def join_chains(
+    draw,
+    schema: Schema = TEST_SCHEMA,
+    min_leaves: int = 3,
+    max_leaves: int = 4,
+) -> Expr:
+    """Random ≥3-way join chains — the cost-based reordering workload.
+
+    Leaves are base relations (kept narrow so the joined arity stays
+    within :data:`MAX_ARITY`), the tree shape is random (left-deep or
+    bushy), and every join draws a random condition over the full
+    operand arities, so chains mix equality atoms, order atoms, and
+    cartesian steps.
+    """
+    count = draw(st.integers(min_leaves, max_leaves))
+    narrow = [name for name in sorted(schema) if schema[name] <= 2]
+    parts: list[Expr] = [
+        Rel(name, schema[name])
+        for name in (
+            draw(st.sampled_from(narrow)) for _ in range(count)
+        )
+    ]
+    while len(parts) > 1:
+        index = draw(st.integers(0, len(parts) - 2))
+        left, right = parts[index], parts.pop(index + 1)
+        if left.arity + right.arity > MAX_ARITY:
+            left = _fit_arity(left, MAX_ARITY - right.arity)
+        cond = draw(conditions(left.arity, right.arity))
+        parts[index] = Join(left, right, cond)
+    return parts[0]
+
+
 def sa_eq_expressions(
     schema: Schema = TEST_SCHEMA,
     max_depth: int = 4,

@@ -220,6 +220,61 @@ class TestExecutor:
         assert "HashJoin" in report
 
 
+class TestVersionInvalidation:
+    """Mutated relation contents must never be served stale.
+
+    The public API is immutable (every "mutation" returns a new
+    ``Database``), so these tests simulate the real hazard — a storage
+    backend swapping a relation's contents behind the same handle — by
+    assigning ``_relations`` directly.  The executor's version token
+    (``Database.version_token``) must catch that and drop its indexes,
+    statistics, plans, and memo.
+    """
+
+    def test_mutating_database_between_evaluates_refreshes_results(self):
+        db = database({"R": 2, "S": 1}, R=[(1, 7), (2, 8)], S=[(7,)])
+        expr = parse("R join[2=1] S", SCHEMA)
+        assert evaluate(expr, db) == {(1, 7, 7)}
+        db._relations = {**db._relations, "S": frozenset({(8,)})}
+        # Same handle, new contents: the cached per-database executor
+        # must rebuild its index on S instead of probing the stale one.
+        assert evaluate(expr, db) == {(2, 8, 8)}
+
+    def test_executor_drops_indexes_stats_and_plans(self):
+        db = database(
+            {"R": 2, "S": 1},
+            R=[(i, i % 3) for i in range(9)],
+            S=[(0,)],
+        )
+        expr = parse("R join[2=1] S", SCHEMA)
+        executor = Executor(db)
+        plan = executor.plan(expr)
+        first = executor.execute(plan)
+        assert len(first) == 3
+        assert executor.catalog.relation("R").rows == 9
+        db._relations = {**db._relations, "R": frozenset({(5, 0)})}
+        replanned = executor.plan(expr)
+        second = executor.execute(replanned)
+        assert second == {(5, 0, 0)}
+        # Statistics were re-profiled, not served from the old catalog.
+        assert executor.catalog.relation("R").rows == 1
+
+    def test_unchanged_database_keeps_plans_and_indexes(self):
+        db = database(
+            {"R": 2, "S": 1},
+            R=[(i, i % 3) for i in range(9)],
+            S=[(0,), (1,)],
+        )
+        expr = parse("R join[2=1] S", SCHEMA)
+        executor = Executor(db)
+        plan = executor.plan(expr)
+        executor.execute(plan)
+        builds = executor.indexes.builds
+        assert executor.plan(expr) is plan  # plan memo hit
+        executor.execute(plan)
+        assert executor.indexes.builds == builds  # index reused
+
+
 class TestDivisionSemantics:
     def test_empty_divisor_classic_returns_candidates(self):
         db = database({"R": 2, "S": 1}, R=[(1, 7), (2, 9)])

@@ -2,10 +2,12 @@
 
 Three independent implementations must agree on every expression and
 database: the cost-aware engine (plan → execute, with its division and
-semijoin rewrites), the memoizing structural evaluator, and the
-brute-force oracle of :mod:`repro.algebra.reference`.  Hypothesis is
-run derandomized (seeded), so every CI run replays the same ≥ 200
-random cases per property with zero tolerance for disagreement.
+semijoin rewrites — run both with statistics present and absent, since
+cost-based and structural planning choose different operators), the
+memoizing structural evaluator, and the brute-force oracle of
+:mod:`repro.algebra.reference`.  Hypothesis is run derandomized
+(seeded), so every CI run replays the same ≥ 200 random cases per
+property with zero tolerance for disagreement.
 """
 
 from hypothesis import HealthCheck, given, settings
@@ -34,10 +36,21 @@ SMALLER = settings(
 @DIFFERENTIAL
 @given(expressions(max_depth=4), databases())
 def test_engine_evaluator_and_oracle_agree(expr, db):
-    engine = run(expr, db)
+    engine = run(expr, db)  # cost-based: run() plans with statistics
     memoized = evaluate(expr, db, memo={})
     oracle = evaluate_reference(expr, db)
     assert engine == memoized == oracle
+
+
+@SMALLER
+@given(expressions(max_depth=4), databases())
+def test_stats_present_and_absent_plans_agree(expr, db):
+    """The same query, planned with statistics (executor catalog) and
+    without (structural ``plan_expression``), computes one relation."""
+    executor = Executor(db)
+    with_stats = executor.execute(executor.plan(expr))
+    without_stats = Executor(db).execute(plan_expression(expr))
+    assert with_stats == without_stats == evaluate_reference(expr, db)
 
 
 @SMALLER
@@ -56,10 +69,13 @@ def test_rewrites_do_not_change_semantics(expr, db):
         PlannerOptions(push_selections=False),
         PlannerOptions(introduce_semijoins=False),
         PlannerOptions(rewrite_divisions=False),
+        PlannerOptions(use_costs=False),
+        PlannerOptions(reorder_joins=False),
         PlannerOptions(
             push_selections=False,
             introduce_semijoins=False,
             rewrite_divisions=False,
+            use_costs=False,
         ),
     ):
         assert run(expr, db, options) == baseline

@@ -12,10 +12,12 @@ from hypothesis import HealthCheck, given, settings
 from repro.algebra.ast import is_ra, is_sa
 from repro.algebra.parser import parse
 from repro.algebra.printer import to_ascii
-from repro.engine import PlannerOptions, plan_expression
+from repro.engine import Executor, PlannerOptions, plan_expression
 from repro.engine.plan import DivisionOp
+from repro.engine.planner import explain
 from repro.setjoins.division import classic_division_expr, small_divisor_expr
-from tests.strategies import TEST_SCHEMA, expressions
+from repro.workloads.generators import crossproduct_division_family
+from tests.strategies import TEST_SCHEMA, databases, expressions
 
 ROUNDTRIP = settings(
     max_examples=120,
@@ -90,3 +92,55 @@ def test_fragment_predicates_preserved_by_rendering(expr):
     back = parse(to_ascii(expr), TEST_SCHEMA)
     assert is_ra(back) == is_ra(expr)
     assert is_sa(back) == is_sa(expr)
+
+
+# ----------------------------------------------------------------------
+# Cost-based plans: explain must stay auditable
+# ----------------------------------------------------------------------
+
+
+@ROUNDTRIP
+@given(expressions(max_depth=4), databases())
+def test_cost_based_plan_logicals_roundtrip(expr, db):
+    """Cost-based planning synthesizes new logical expressions
+    (reordered join chains, their restoring projections); every one of
+    them must still print-and-parse back to itself."""
+    plan = Executor(db).plan(expr)
+    for node in plan.nodes():
+        assert parse(to_ascii(node.logical), TEST_SCHEMA) == node.logical
+
+
+@ROUNDTRIP
+@given(expressions(max_depth=4), databases())
+def test_cost_annotated_explain_still_parses(expr, db):
+    """``--costs`` annotations must not break the ``' :: '`` split the
+    logical tail relies on."""
+    executor = Executor(db)
+    plan = executor.plan(expr)
+    text = explain(expr, plan=plan, costs=True, catalog=executor.catalog)
+    for line in text.splitlines():
+        assert SEPARATOR in line, line
+        assert "~rows=" in line and "ub=" in line and "cost=" in line
+        parse(line.split(SEPARATOR, 1)[1], TEST_SCHEMA)  # must not raise
+
+
+def test_prop26_witness_family_keeps_linear_division_under_costs():
+    """Regression: the cost model must never re-quadratify the Prop. 26
+    witness family — the classic division expression still routes to
+    the one linear DivisionOp, asserted on the explain output."""
+    db = crossproduct_division_family(96)
+    executor = Executor(db)
+    expr = classic_division_expr()
+    plan = executor.plan(expr)
+    text = explain(expr, plan=plan, costs=True, catalog=executor.catalog)
+    first = text.splitlines()[0]
+    assert first.startswith("Division[hash")
+    assert "rewritten from classic RA division plan" in first
+    # No join operator anywhere in the plan: the quadratic cross
+    # product of the written expression was never materialized.
+    assert "Join" not in text
+    # And the root's certified bound is the linear |π_A(R)|.
+    assert isinstance(plan, DivisionOp)
+    keys = len({a for a, __ in db["R"]})
+    root_annotation = first.split("{", 1)[1].split("}", 1)[0]
+    assert f"ub={keys}" in root_annotation
