@@ -5,6 +5,7 @@ Subcommands::
     repro eval     -d db.json 'project[1](R join[2=1] S)'   # engine-backed
     repro explain  'R cartesian S' --schema 'R:2,S:1'       # physical plan
     repro explain  -d db.json --costs 'R join[2=1] S'       # + cost estimates
+    repro eval     -d db.json --partition-budget 500 'R join[2=1] S'
     repro trace    -d db.json 'project[1](R) cartesian S'
     repro classify -d db.json 'R cartesian S'           # db optional
     repro compile  'R join[2=1] S' --schema 'R:2,S:1'
@@ -77,11 +78,33 @@ def _schema_for(args) -> Schema:
     raise ReproError("provide --database or --schema")
 
 
+def _planner_options(args):
+    """PlannerOptions from CLI flags, or None for the engine default."""
+    budget = getattr(args, "partition_budget", None)
+    if budget is None:
+        return None
+    from repro.engine import PlannerOptions
+
+    # PlannerOptions validates the budget itself (>= 1 row).
+    return PlannerOptions(partition_budget=budget)
+
+
 def _cmd_eval(args) -> int:
     db = _load_database(args.database)
     expr = parse(args.expression, db.schema)
     use_engine = not getattr(args, "no_engine", False)
-    rows = sorted(evaluate(expr, db, use_engine=use_engine), key=repr)
+    options = _planner_options(args)
+    if options is not None:
+        if not use_engine:
+            raise ReproError(
+                "--partition-budget needs the engine; drop --no-engine"
+            )
+        from repro.engine import run
+
+        result = run(expr, db, options)
+    else:
+        result = evaluate(expr, db, use_engine=use_engine)
+    rows = sorted(result, key=repr)
     for row in rows:
         print("\t".join(str(v) for v in row))
     print(f"-- {len(rows)} row(s)", file=sys.stderr)
@@ -107,9 +130,18 @@ def _cmd_explain(args) -> int:
     # With a database the plan is cost-based (real statistics); with
     # only a schema it falls back to the structural rules, and --costs
     # annotates from the zero-stats default assumptions.
+    options = _planner_options(args)
     executor = Executor(db) if db is not None else None
     catalog = executor.catalog if executor is not None else None
-    plan = executor.plan(expr) if executor is not None else plan_expression(expr)
+    if executor is not None:
+        plan = executor.plan(expr, options)  # None means engine defaults
+    elif options is not None:
+        # Schema-only planning has no statistics, so the budget cannot
+        # be sized (nothing sound to size against); the plan is printed
+        # unpartitioned, matching what the engine would run.
+        plan = plan_expression(expr, options)
+    else:
+        plan = plan_expression(expr)
     print(
         explain_plan(
             expr,
@@ -244,6 +276,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="bypass the engine and use the structural evaluator",
     )
+    p_eval.add_argument(
+        "--partition-budget",
+        type=int,
+        metavar="ROWS",
+        help="rows-in-flight cap for partitioned execution: operators "
+        "whose estimated in-flight bound exceeds it run in batches",
+    )
     p_eval.set_defaults(fn=_cmd_eval)
 
     p_explain = sub.add_parser(
@@ -265,6 +304,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="annotate each operator with the cost model's estimated "
         "rows, sound upper bound, and cost (statistics come from -d; "
         "schema-only estimates use default assumptions)",
+    )
+    p_explain.add_argument(
+        "--partition-budget",
+        type=int,
+        metavar="ROWS",
+        help="rows-in-flight cap for partitioned execution; the plan "
+        "shows Partitioned[k=...] wrappers with planned batch counts "
+        "(needs -d: sizing uses that database's statistics)",
     )
     p_explain.set_defaults(fn=_cmd_explain)
 

@@ -19,7 +19,11 @@ algorithm one level down.  This package is the layer that acts on that:
   the structural rules as the zero-stats fallback;
 * :mod:`repro.engine.executor` — memoizing streaming execution with a
   per-database hash-index cache, the statistics catalog, and a
-  version token guarding both against content changes.
+  version token guarding both against content changes;
+* :mod:`repro.engine.partition` — partitioned (batched) execution of
+  joins, semijoins, and division under a rows-in-flight budget, sized
+  from the cost model's sound upper bounds
+  (``PlannerOptions.partition_budget``).
 
 Typical use::
 
@@ -40,7 +44,14 @@ from repro.algebra.evaluator import Relation
 from repro.data.database import Database
 from repro.engine.cost import CostModel, Estimate, estimate_plan
 from repro.engine.executor import ExecutionStats, Executor, IndexCache, execute_plan
-from repro.engine.plan import DivisionOp, PlanNode
+from repro.engine.partition import (
+    BatchRecord,
+    PartitionRun,
+    apply_partitioning,
+    in_flight_upper,
+    planned_partitions,
+)
+from repro.engine.plan import DivisionOp, PartitionedOp, PlanNode
 from repro.engine.planner import (
     DEFAULT_OPTIONS,
     Planner,
@@ -53,21 +64,27 @@ from repro.engine.stats import StatsCatalog
 
 __all__ = [
     "DEFAULT_OPTIONS",
+    "BatchRecord",
     "CostModel",
     "DivisionOp",
     "Estimate",
     "ExecutionStats",
     "Executor",
     "IndexCache",
+    "PartitionRun",
+    "PartitionedOp",
     "PlanNode",
     "Planner",
     "PlannerOptions",
     "StatsCatalog",
+    "apply_partitioning",
     "estimate_plan",
     "execute_plan",
     "explain",
+    "in_flight_upper",
     "match_division",
     "plan_expression",
+    "planned_partitions",
     "run",
 ]
 

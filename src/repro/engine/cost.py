@@ -43,6 +43,7 @@ from repro.engine.plan import (
     HashSemijoinOp,
     NestedLoopJoinOp,
     NestedLoopSemijoinOp,
+    PartitionedOp,
     PlanNode,
     ProjectOp,
     ScanOp,
@@ -169,6 +170,8 @@ class CostModel:
             return self._semijoin(node)
         if isinstance(node, DivisionOp):
             return self._division(node)
+        if isinstance(node, PartitionedOp):
+            return self._partitioned(node)
         if isinstance(node, GroupByOp):
             return self._group_by(node)
         if isinstance(node, SortOp):
@@ -415,6 +418,31 @@ class CostModel:
             cost,
             (upper,),
             dividend.sound and divisor.sound,
+        )
+
+    def _partitioned(self, node: PartitionedOp) -> Estimate:
+        """Batched execution: same output, plus the scatter pass.
+
+        Partitioning never changes what is computed — rows, the sound
+        upper bound, and distinct counts are the inner operator's.  The
+        extra cost is one grouping pass over each input (the scatter)
+        plus per-batch bookkeeping.  The wrapped plan therefore always
+        prices ≥ the unwrapped one: the planner partitions to honour
+        the rows-in-flight *budget*, not because it is cheaper — the
+        cost-based part of the decision is *which* operators must pay
+        the scatter at all (only those whose in-flight bound exceeds
+        the budget; see :func:`repro.engine.partition.in_flight_upper`).
+        """
+        inner = self.estimate(node.inner)
+        scatter = sum(
+            self.estimate(child).rows for child in node.inner.children()
+        )
+        return Estimate(
+            inner.rows,
+            inner.upper,
+            inner.cost + scatter + node.partitions,
+            inner.distinct,
+            inner.sound,
         )
 
     def _group_by(self, node: GroupByOp) -> Estimate:

@@ -50,6 +50,7 @@ from repro.engine.plan import (
     HashSemijoinOp,
     NestedLoopJoinOp,
     NestedLoopSemijoinOp,
+    PartitionedOp,
     PlanNode,
     ProjectOp,
     ScanOp,
@@ -77,11 +78,42 @@ class ExecutionStats:
 
     node_rows: dict[PlanNode, int] = field(default_factory=dict)
     node_estimates: dict[PlanNode, object] = field(default_factory=dict)
+    #: Per-``PartitionedOp`` batch records (planned vs actual batch
+    #: counts, per-batch rows in flight) — see
+    #: :class:`repro.engine.partition.PartitionRun`.
+    partition_runs: dict[PlanNode, object] = field(default_factory=dict)
     indexes_built: int = 0
     index_reuses: int = 0
 
     def max_intermediate(self) -> int:
         return max(self.node_rows.values(), default=0)
+
+    def max_in_flight(self) -> int:
+        """Peak *working set* (rows) of any one executed operator.
+
+        For a one-shot operator: its inputs plus its output, which
+        coexist while it runs.  For a partitioned operator: the
+        recorded per-batch peak — the quantity the partition budget
+        bounds.  Leaf scans contribute nothing of their own (stored
+        relations exist whether or not they are scanned), though their
+        rows do count as the consuming operator's input.  The partition
+        benchmarks compare this figure between partitioned and
+        unpartitioned runs of the same query.
+        """
+        peak = 0
+        for node, produced in self.node_rows.items():
+            run = self.partition_runs.get(node)
+            if run is not None:
+                peak = max(peak, run.peak_in_flight())
+                continue
+            children = node.children()
+            if not children:  # leaf scan: no working set of its own
+                continue
+            held = produced + sum(
+                self.node_rows.get(child, 0) for child in children
+            )
+            peak = max(peak, held)
+        return peak
 
     def total_rows(self) -> int:
         return sum(self.node_rows.values())
@@ -100,6 +132,8 @@ class ExecutionStats:
             f"indexes built    : {self.indexes_built}"
             f" (reused {self.index_reuses}x)",
         ]
+        for node, run in self.partition_runs.items():
+            lines.append(f"{node.label()}: {run.render()}")
         ordered = sorted(
             self.node_rows.items(), key=lambda kv: -kv[1]
         )
@@ -326,6 +360,8 @@ class Executor:
             return self._nested_loop_semijoin(node)
         if isinstance(node, DivisionOp):
             return self._division(node)
+        if isinstance(node, PartitionedOp):
+            return self._partitioned(node)
         if isinstance(node, GroupByOp):
             return self._group_by(node)
         if isinstance(node, SortOp):
@@ -407,6 +443,22 @@ class Executor:
         algorithm = registry[node.method]
         quotient = algorithm(dividend, divisor)
         return ((a,) for a in quotient)
+
+    def _partitioned(self, node: PartitionedOp) -> Iterable[Row]:
+        """Budget-bounded batch execution (see :mod:`repro.engine.partition`).
+
+        The wrapped operator is *not* dispatched through :meth:`_rows`
+        — that would run it one-shot and record its whole intermediate
+        as a single working set instead of the per-batch figures the
+        budget is checked against.  Its children are, so fragments
+        come from the usual memo, and hash (semi)join groupings go
+        through :class:`IndexCache` under the same keys the one-shot
+        operators use (partitioned and one-shot runs share builds;
+        re-executions against unchanged contents regroup nothing).
+        """
+        from repro.engine.partition import run_partitioned
+
+        return run_partitioned(self, node)
 
     def _group_by(self, node: GroupByOp) -> Relation:
         from repro.extended.evaluator import _eval_group_by

@@ -1,0 +1,452 @@
+"""Partitioned execution: batched operators under a rows-in-flight budget.
+
+The paper's dichotomy (Theorem 17) and the division lower bound
+(Proposition 26) are statements about *how much intermediate data a
+plan materializes*.  The engine's rewrites already route the recognized
+patterns to linear operators; this module takes the next scaling step —
+the size-bound reasoning of Atserias–Grohe–Marx and the partition-wise
+processing behind worst-case-optimal joins — and makes the remaining
+big operators run in **hash-partitioned batches** so that no batch ever
+holds more than a configured number of rows in flight.
+
+Two layers cooperate:
+
+* **Planning** (static, estimate-driven).  In a post-pass over the
+  fully chosen plan (:func:`apply_partitioning` — after every cost
+  comparison, so the wrapper's scatter surcharge never flips an
+  operator choice), each partitionable operator whose
+  :func:`in_flight_upper` — the cost model's *sound* upper bound on
+  its rows in flight (inputs + output materialized at once) — exceeds
+  ``PlannerOptions.partition_budget`` is wrapped in a
+  :class:`~repro.engine.plan.PartitionedOp` whose ``partitions`` field
+  carries :func:`planned_partitions`, the predicted batch count
+  ``ceil(upper / budget)``.
+* **Execution** (exact, weight-driven).  At run time the inputs are
+  already materialized frozensets, so per-key weights are *exact*:
+  :func:`run_partitioned` groups each input by its partitioning key,
+  bounds every key group's contribution (inputs **plus the worst-case
+  output** that group can emit), and packs groups into batches by
+  best-fit-decreasing (:func:`pack_groups`) with capacity
+  ``budget − replicated rows``.  The resulting invariant, asserted by
+  the property tests in ``tests/test_engine_partition.py``:
+
+      every batch's measured rows in flight is ≤ the budget, unless
+      the batch is a single atomic key group whose own weight already
+      exceeds it (a key group cannot be subdivided without changing
+      the operator's semantics — the ``budget=1`` degenerate case).
+
+Partitioning strategies per wrapped operator:
+
+==========================  ===========================================
+operator                    strategy
+==========================  ===========================================
+``HashJoinOp``              both sides hash-grouped on the equality
+                            keys (via the executor's index cache, so
+                            one-shot runs share the build); a key's
+                            weight is ``nL + nR + nL·nR`` (fragments +
+                            worst-case join output); keys present on
+                            only one side emit nothing and are pruned
+                            at scatter time
+``HashSemijoinOp``          same grouping; weight ``nL + nR + nL``
+                            (output ≤ the left fragment)
+``NestedLoopSemijoinOp``    left rows batched individually (weight 2:
+                            the row + at most one output row); the
+                            right side is replicated to every batch
+``DivisionOp``              dividend grouped by candidate (column 1);
+                            weight ``n_a + 1`` (group + at most one
+                            quotient row); the divisor is replicated
+==========================  ===========================================
+
+Replicated sides count toward every batch's rows in flight, which is
+why they are subtracted from the packing capacity.  Nested-loop *joins*
+are not partitionable: without equality keys a batch's output is not
+bounded by its own fragment, so no per-batch budget could be certified.
+
+Between batches the executor's database version token is re-checked;
+a mutation mid-run raises :class:`~repro.errors.StaleDataError` rather
+than silently mixing two content versions into one result (see
+``docs/engine.md`` § Partitioned execution).
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass, field
+
+from repro.data.database import Row
+from repro.engine.plan import (
+    PARTITIONABLE_OPS,
+    DivisionOp,
+    HashJoinOp,
+    HashSemijoinOp,
+    NestedLoopSemijoinOp,
+    PartitionedOp,
+    PlanNode,
+)
+from repro.errors import SchemaError, StaleDataError
+from repro.setjoins.division import DIVISION_ALGORITHMS, DIVISION_EQ_ALGORITHMS
+
+#: Hard cap on the planner's predicted batch count (a backstop against
+#: absurd upper-bound/budget ratios; the executor packs exactly anyway).
+MAX_PARTITIONS = 4096
+
+
+# ----------------------------------------------------------------------
+# Planning: estimate-driven sizing
+# ----------------------------------------------------------------------
+
+
+def in_flight_upper(cost_model, node: PlanNode) -> float:
+    """Sound upper bound on ``node``'s unpartitioned rows in flight.
+
+    One-shot execution materializes the operator's inputs and its
+    output simultaneously, so the bound is the sum of the children's
+    ``upper`` estimates plus the operator's own.  Infinite whenever any
+    estimate is unsound (zero-stats planning certifies nothing).
+    """
+    estimate = cost_model.estimate(node)
+    if not estimate.sound:
+        return math.inf
+    total = estimate.upper
+    for child in node.children():
+        total += cost_model.estimate(child).upper
+    return total
+
+
+def planned_partitions(upper: float, budget: int) -> int:
+    """The predicted batch count: ``ceil(upper / budget)``, capped."""
+    if not math.isfinite(upper) or budget < 1:
+        return MAX_PARTITIONS
+    return max(1, min(MAX_PARTITIONS, math.ceil(upper / budget)))
+
+
+def apply_partitioning(plan: PlanNode, cost_model, budget: int) -> PlanNode:
+    """Post-pass: wrap every oversized partitionable operator in ``plan``.
+
+    Runs *after* all of the planner's cost comparisons, so the scatter
+    surcharge a :class:`~repro.engine.plan.PartitionedOp` adds can
+    never flip an operator-choice decision — the budget, not the cost
+    model, is what forces batching.  The tree is rebuilt bottom-up
+    (children first, so an operator's in-flight bound is computed over
+    its possibly-wrapped children); shared sub-plans stay shared, and
+    untouched subtrees are returned as the same objects so executor
+    memoization is unaffected.
+    """
+    from dataclasses import fields, replace
+
+    memo: dict[int, PlanNode] = {}
+
+    def rebuild(node: PlanNode) -> PlanNode:
+        cached = memo.get(id(node))
+        if cached is not None:
+            return cached
+        if isinstance(node, PartitionedOp):
+            # Already partitioned (re-applying to a planned plan):
+            # keep the existing wrapper — and its budget — untouched
+            # rather than wrapping its inner operator a second time.
+            memo[id(node)] = node
+            return node
+        changes = {}
+        for f in fields(node):
+            value = getattr(node, f.name)
+            if isinstance(value, PlanNode):
+                new = rebuild(value)
+                if new is not value:
+                    changes[f.name] = new
+        rebuilt = replace(node, **changes) if changes else node
+        if isinstance(rebuilt, PARTITIONABLE_OPS):
+            upper = in_flight_upper(cost_model, rebuilt)
+            if math.isfinite(upper) and upper > budget:
+                partitions = planned_partitions(upper, budget)
+                rebuilt = PartitionedOp(
+                    rebuilt,
+                    partitions,
+                    budget,
+                    note=f"in-flight ub {upper:.0f} > budget {budget}: "
+                    f"{partitions} batch(es) planned (exact packing at "
+                    "run time)",
+                )
+        memo[id(node)] = rebuilt
+        return rebuilt
+
+    return rebuild(plan)
+
+
+# ----------------------------------------------------------------------
+# Execution records
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BatchRecord:
+    """One executed batch: what it held in flight, and why."""
+
+    groups: int  #: atomic key groups packed into this batch
+    input_rows: int  #: fragment rows scattered into the batch
+    output_rows: int  #: rows the batch emitted
+    in_flight: int  #: input_rows + replicated rows + output_rows
+
+    def within(self, budget: int) -> bool:
+        """The packing invariant: under budget, or a lone atomic group."""
+        return self.in_flight <= budget or self.groups <= 1
+
+
+@dataclass
+class PartitionRun:
+    """Everything one :class:`PartitionedOp` execution observed.
+
+    ``planned`` is the planner's predicted batch count (from sound
+    upper bounds); ``actual()`` is what exact-weight packing produced —
+    the estimated-vs-actual pair the partition benchmarks assert on.
+    """
+
+    planned: int
+    budget: int
+    replicated_rows: int = 0
+    batches: list[BatchRecord] = field(default_factory=list)
+
+    def actual(self) -> int:
+        return len(self.batches)
+
+    def peak_in_flight(self) -> int:
+        return max((b.in_flight for b in self.batches), default=0)
+
+    def total_output(self) -> int:
+        return sum(b.output_rows for b in self.batches)
+
+    def within_budget(self) -> bool:
+        return all(b.within(self.budget) for b in self.batches)
+
+    def render(self) -> str:
+        return (
+            f"batches={self.actual()} (planned {self.planned}) "
+            f"peak-in-flight={self.peak_in_flight()} "
+            f"budget={self.budget}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Packing
+# ----------------------------------------------------------------------
+
+
+def pack_groups(
+    weights: dict[object, int], capacity: float
+) -> list[tuple[object, ...]]:
+    """Best-fit-decreasing packing of key groups into batches.
+
+    Groups are placed heaviest-first (ties broken by ``repr`` of the
+    key, so packing is deterministic for given inputs) into the open
+    batch with the *least* remaining room that still fits, found by
+    binary search over a sorted list of batch residuals — no linear
+    scan over open batches, so packing does comparisons in
+    ``O(G log G)`` rather than degrading quadratic when few groups fit
+    together.  A group heavier than ``capacity`` becomes a singleton
+    batch directly, without any search (capacity ≤ 0 makes *every*
+    group one).  Every batch satisfies ``total ≤ capacity`` or is a
+    singleton, which is exactly the invariant
+    :meth:`BatchRecord.within` states against the budget.
+    """
+    order = sorted(weights.items(), key=lambda kv: (-kv[1], repr(kv[0])))
+    singletons: list[tuple[object, ...]] = []
+    batches: list[list[object]] = []
+    residuals: list[tuple[float, int]] = []  # sorted (room left, batch id)
+    for key, weight in order:
+        if weight > capacity:
+            singletons.append((key,))
+            continue
+        pos = bisect.bisect_left(residuals, (weight, -1))
+        if pos < len(residuals):  # tightest open batch the group fits
+            room, batch_id = residuals.pop(pos)
+            batches[batch_id].append(key)
+            bisect.insort(residuals, (room - weight, batch_id))
+        else:
+            batches.append([key])
+            bisect.insort(residuals, (capacity - weight, len(batches) - 1))
+    # Heaviest-first ordering puts every oversized singleton before
+    # every packed batch, keeping the returned order deterministic.
+    return singletons + [tuple(batch) for batch in batches]
+
+
+# ----------------------------------------------------------------------
+# Batch execution
+# ----------------------------------------------------------------------
+
+
+def run_partitioned(executor, node: PartitionedOp) -> list[Row]:
+    """Execute ``node.inner`` in budget-bounded batches.
+
+    Called by :meth:`repro.engine.executor.Executor._compute`; returns
+    the full result (the union over batches — key-disjoint fragments
+    make it exact) and records a :class:`PartitionRun` in the
+    executor's :class:`~repro.engine.executor.ExecutionStats`.
+    """
+    inner = node.inner
+    if isinstance(inner, (HashJoinOp, HashSemijoinOp)):
+        rows, run = _run_keyed(executor, node, inner)
+    elif isinstance(inner, NestedLoopSemijoinOp):
+        rows, run = _run_left_batched(executor, node, inner)
+    elif isinstance(inner, DivisionOp):
+        rows, run = _run_division(executor, node, inner)
+    else:  # pragma: no cover - PartitionedOp.__post_init__ rejects these
+        raise SchemaError(
+            f"cannot partition {type(inner).__name__}"
+        )
+    executor.stats.partition_runs[node] = run
+    return rows
+
+
+def _check_version(executor, node: PartitionedOp) -> None:
+    """Fail fast if the database mutated between batches."""
+    if executor.db.version_token() != executor._version:
+        raise StaleDataError(
+            "relation contents changed between batches of "
+            f"{node.label()}; earlier batches saw the old contents — "
+            "re-run the query (caches are invalidated on next use)"
+        )
+
+
+def _run_keyed(executor, node: PartitionedOp, inner) -> tuple[list, PartitionRun]:
+    """Hash join / hash semijoin: both sides grouped on equality keys.
+
+    Both groupings go through the executor's
+    :class:`~repro.engine.executor.IndexCache` under the same
+    ``(logical expression, positions)`` keys the one-shot hash
+    operators use, so partitioned and one-shot executions of the same
+    input share a single build and re-executing against unchanged
+    contents regroups nothing.  Keys present on only one side are
+    pruned at scatter time: with no partner rows they cannot produce
+    output (``rest`` atoms only filter further), so they never consume
+    batch capacity or rows in flight.
+    """
+    eq = inner.cond.by_op("=")
+    left_positions = tuple(a.i for a in eq)
+    right_positions = tuple(a.j for a in eq)
+    rest = tuple(a for a in inner.cond if a.op != "=")
+    join = isinstance(inner, HashJoinOp)
+
+    left_groups = executor.indexes.index_for(
+        inner.left.logical, executor._rows(inner.left), left_positions
+    )
+    right_groups = executor.indexes.index_for(
+        inner.right.logical, executor._rows(inner.right), right_positions
+    )
+    weights: dict[object, int] = {}
+    for key in left_groups.keys() & right_groups.keys():
+        n_left = len(left_groups[key])
+        n_right = len(right_groups[key])
+        worst_output = n_left * n_right if join else n_left
+        weights[key] = n_left + n_right + worst_output
+
+    run = PartitionRun(node.partitions, node.budget)
+    out: list[Row] = []
+    for keys in pack_groups(weights, node.budget):
+        _check_version(executor, node)
+        produced = 0
+        input_rows = 0
+        for key in keys:
+            lefts = left_groups[key]
+            rights = right_groups[key]
+            input_rows += len(lefts) + len(rights)
+            for lrow in lefts:
+                if join:
+                    for rrow in rights:
+                        if all(atom.holds(lrow, rrow) for atom in rest):
+                            out.append(lrow + rrow)
+                            produced += 1
+                elif any(
+                    all(atom.holds(lrow, rrow) for atom in rest)
+                    for rrow in rights
+                ):
+                    out.append(lrow)
+                    produced += 1
+        run.batches.append(
+            BatchRecord(
+                groups=len(keys),
+                input_rows=input_rows,
+                output_rows=produced,
+                in_flight=input_rows + produced,
+            )
+        )
+    return out, run
+
+
+def _run_left_batched(
+    executor, node: PartitionedOp, inner: NestedLoopSemijoinOp
+) -> tuple[list, PartitionRun]:
+    """θ-semijoin: batch left rows; the right side goes to every batch.
+
+    Each left row is its own atomic group (no key to group by) of
+    weight 2 — the row plus the at-most-one output row it can emit.
+    """
+    left_rows = executor._rows(inner.left)
+    right_rows = executor._rows(inner.right)
+    replicated = len(right_rows)
+    weights = {row: 2 for row in left_rows}
+
+    run = PartitionRun(node.partitions, node.budget, replicated)
+    out: list[Row] = []
+    for batch in pack_groups(weights, node.budget - replicated):
+        _check_version(executor, node)
+        produced = 0
+        for lrow in batch:
+            if any(inner.cond.holds(lrow, rrow) for rrow in right_rows):
+                out.append(lrow)
+                produced += 1
+        run.batches.append(
+            BatchRecord(
+                groups=len(batch),
+                input_rows=len(batch),
+                output_rows=produced,
+                in_flight=len(batch) + replicated + produced,
+            )
+        )
+    return out, run
+
+
+def _run_division(
+    executor, node: PartitionedOp, inner: DivisionOp
+) -> tuple[list, PartitionRun]:
+    """Division: partition the dividend by candidate; replicate the divisor.
+
+    A candidate's *entire* B-set must sit in one batch for the
+    containment/equality test to be answerable there, so the atomic
+    group is the candidate's dividend rows (weight ``n_a + 1``).  Each
+    batch runs the same direct algorithm the unpartitioned operator
+    would (the ``method``/``eq`` registry of
+    :mod:`repro.setjoins.division`) on its fragment; quotients from
+    disjoint candidate sets union exactly.  Like the keyed joins, the
+    per-candidate grouping goes through the executor's
+    :class:`~repro.engine.executor.IndexCache`, so re-executions
+    against unchanged contents regroup nothing.
+    """
+    divisor_rows = executor._rows(inner.divisor)
+    run = PartitionRun(node.partitions, node.budget, len(divisor_rows))
+    if not divisor_rows and inner.empty_divisor == "none":
+        # γ-plan semantics: empty divisor ⇒ empty result, no batches.
+        return [], run
+    divisor = [row[0] for row in divisor_rows]
+    groups = executor.indexes.index_for(
+        inner.dividend.logical, executor._rows(inner.dividend), (1,)
+    )
+    weights = {key: len(rows) + 1 for key, rows in groups.items()}
+
+    out: list[Row] = []
+    for keys in pack_groups(weights, node.budget - len(divisor_rows)):
+        _check_version(executor, node)
+        fragment = [row for key in keys for row in groups[key]]
+        registry = (
+            DIVISION_EQ_ALGORITHMS if inner.eq else DIVISION_ALGORITHMS
+        )
+        quotient = registry[inner.method](fragment, divisor)
+        out.extend((a,) for a in quotient)
+        run.batches.append(
+            BatchRecord(
+                groups=len(keys),
+                input_rows=len(fragment),
+                output_rows=len(quotient),
+                in_flight=len(fragment) + len(divisor_rows) + len(quotient),
+            )
+        )
+    return out, run

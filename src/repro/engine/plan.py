@@ -429,6 +429,64 @@ class DivisionOp(PlanNode):
         return f"Division[{self.method},{kind},empty={self.empty_divisor}]"
 
 
+#: Operator types :class:`PartitionedOp` may wrap.  Hash (semi)joins
+#: partition both sides on their equality keys; nested-loop semijoins
+#: batch the left side against a replicated right; division partitions
+#: the dividend by candidate with a replicated divisor.  (Nested-loop
+#: *joins* are excluded: a batch's output is not bounded by its input
+#: fragment, so no per-batch budget could be certified.)
+PARTITIONABLE_OPS = ()  # filled below, after the classes exist
+
+
+@dataclass(frozen=True)
+class PartitionedOp(PlanNode):
+    """Batched execution of one operator under a rows-in-flight budget.
+
+    Wraps a partitionable operator (:data:`PARTITIONABLE_OPS`) so the
+    executor runs it in hash-partitioned batches instead of one shot:
+    each batch *works on* only its input fragments, any replicated
+    side, and its own output, and that per-batch working set — the
+    quantity ``budget`` caps — is what
+    :class:`~repro.engine.partition.PartitionRun` records.  (In this
+    in-memory engine the inputs and the accumulated result still
+    reside in the process for the whole run; the bounded working-set
+    accounting is the contract a spill-to-disk or shard-per-worker
+    backend would turn into bounded *memory* — see ``docs/engine.md``
+    § Partitioned execution.)  ``partitions`` is the planner's
+    *predicted* batch count (from the cost model's sound upper
+    bounds); the executor re-packs batches from exact per-key weights
+    at run time, so the actual count can differ — both are recorded
+    for estimated-vs-actual comparison.
+    """
+
+    inner: PlanNode
+    partitions: int
+    budget: int
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.inner, PARTITIONABLE_OPS):
+            raise SchemaError(
+                f"PartitionedOp cannot wrap {type(self.inner).__name__}; "
+                "partitionable operators are "
+                f"{tuple(t.__name__ for t in PARTITIONABLE_OPS)}"
+            )
+        if self.partitions < 1:
+            raise SchemaError("PartitionedOp needs partitions >= 1")
+        if self.budget < 1:
+            raise SchemaError("PartitionedOp needs a budget >= 1 row")
+
+    @property
+    def logical(self) -> Expr:
+        return self.inner.logical
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.inner,)
+
+    def label(self) -> str:
+        return f"Partitioned[k={self.partitions},budget={self.budget}]"
+
+
 @dataclass(frozen=True)
 class GroupByOp(PlanNode):
     """γ with grouping positions and aggregates (extended algebra)."""
@@ -478,6 +536,14 @@ class SortOp(PlanNode):
         return "Sort"
 
 
+PARTITIONABLE_OPS = (
+    HashJoinOp,
+    HashSemijoinOp,
+    NestedLoopSemijoinOp,
+    DivisionOp,
+)
+
+
 def _cached_hash(self) -> int:
     """Hash of the dataclass field tuple, computed once per node.
 
@@ -509,6 +575,7 @@ for _op in (
     HashSemijoinOp,
     NestedLoopSemijoinOp,
     DivisionOp,
+    PartitionedOp,
     GroupByOp,
     SortOp,
 ):

@@ -45,6 +45,15 @@ Routing rules (documented in ``docs/engine.md``):
 5. **Selections are pushed toward the leaves** first (reusing
    :func:`repro.algebra.optimize.push_selections`), then fused into
    single :class:`~repro.engine.plan.FilterOp` nodes.
+6. **Oversized operators are partitioned** (costed mode with a
+   ``partition_budget`` only): in a final post-pass over the chosen
+   plan — after every cost comparison, so the scatter surcharge never
+   influences operator choice — each partitionable operator whose
+   sound in-flight upper bound exceeds the budget is wrapped in a
+   :class:`~repro.engine.plan.PartitionedOp` sized by
+   :func:`repro.engine.partition.planned_partitions`; the executor
+   then runs it in budget-bounded batches
+   (:mod:`repro.engine.partition`).
 
 :func:`plan_expression` is the entry point; :func:`explain` renders the
 chosen plan, optionally with the full Theorem 17 dichotomy verdict from
@@ -104,6 +113,14 @@ class PlannerOptions:
     ``use_costs`` gates every cost-based decision (it has no effect
     unless the planner also has a statistics catalog) and
     ``reorder_joins`` gates the ≥3-way join-order search specifically.
+
+    ``partition_budget`` is the rows-in-flight cap for partitioned
+    execution: when set (and ``use_partitions`` is on and statistics
+    are present — sizing needs *sound* bounds), any partitionable
+    operator whose estimated in-flight upper bound exceeds the budget
+    is wrapped in a :class:`~repro.engine.plan.PartitionedOp` and runs
+    in budget-bounded batches.  ``None`` (the default) disables
+    partitioning entirely.
     """
 
     division_method: str = "hash"
@@ -112,6 +129,18 @@ class PlannerOptions:
     push_selections: bool = True
     use_costs: bool = True
     reorder_joins: bool = True
+    use_partitions: bool = True
+    partition_budget: int | None = None
+
+    def __post_init__(self) -> None:
+        # Fail fast: apply_partitioning only runs on plans that contain
+        # a partitionable operator, so a bad budget caught there would
+        # surface on some queries and pass silently on others.
+        if self.partition_budget is not None and self.partition_budget < 1:
+            raise SchemaError(
+                "partition_budget must be >= 1 row (or None to disable "
+                f"partitioning), got {self.partition_budget}"
+            )
 
 
 DEFAULT_OPTIONS = PlannerOptions()
@@ -341,6 +370,28 @@ class Planner:
     def _cost(self, node: PlanNode) -> float:
         return self.cost_model.estimate(node).cost
 
+    def _apply_partition_budget(self, plan: PlanNode) -> PlanNode:
+        """Wrap oversized operators once the whole plan is chosen.
+
+        Partitioning is a *post-pass* (:func:`repro.engine.partition.
+        apply_partitioning`), deliberately not part of operator choice:
+        wrapping adds the scatter pass to an operator's cost, and
+        pricing candidates with that surcharge could flip a comparison
+        toward an unpartitionable — hence budget-unbounded —
+        alternative.  Sizing needs *sound* in-flight bounds, so without
+        statistics (or without a budget) plans are returned untouched.
+        """
+        budget = self.options.partition_budget
+        if (
+            budget is None
+            or not self.options.use_partitions
+            or not self._costed()
+        ):
+            return plan
+        from repro.engine.partition import apply_partitioning
+
+        return apply_partitioning(plan, self.cost_model, budget)
+
     def plan(self, expr: Expr) -> PlanNode:
         """Plan a logical expression (RA/SA, optionally with γ/Sort)."""
         if (
@@ -351,7 +402,7 @@ class Planner:
             from repro.algebra.optimize import push_selections
 
             expr = push_selections(expr)
-        return self._plan(expr)
+        return self._apply_partition_budget(self._plan(expr))
 
     # -- recursive translation -----------------------------------------
 

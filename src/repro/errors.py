@@ -7,6 +7,8 @@ of the system:
 * :class:`SchemaError` and its children report ill-formed schemas,
   databases and expressions (wrong arities, unknown relation names,
   out-of-range column positions);
+* :class:`StaleDataError` reports relation contents changing underneath
+  an in-flight computation (detected via the database version token);
 * :class:`UniverseError` reports values that do not belong to a universe,
   or fresh-element requests a universe cannot satisfy;
 * :class:`FragmentError` reports expressions or formulas that fall outside
@@ -50,6 +52,17 @@ class PositionError(SchemaError):
         )
         self.position = position
         self.arity = arity
+
+
+class StaleDataError(ReproError):
+    """Relation contents changed underneath an in-flight computation.
+
+    Raised by the engine's partitioned executor when the database's
+    version token changes *between batches*: the earlier batches were
+    computed against the old contents, so finishing the run would mix
+    two versions into one result.  Callers should re-plan and re-run
+    (the executor's caches are invalidated on the next query).
+    """
 
 
 class UniverseError(ReproError):
