@@ -4,15 +4,14 @@ Run with::
 
     python examples/quickstart.py
 
-Covers: building databases, evaluating RA/SA expressions, tracing
-intermediate sizes, the dichotomy analysis, the Theorem 18 compiler,
-and relational division.
+Covers: building databases, the ``Session`` front door (prepared
+queries, the cross-query result cache, execution reports), tracing
+intermediate sizes, the dichotomy analysis, and relational division.
 """
 
-from repro import database, parse, evaluate, trace, to_text
+from repro import Session, database, trace
 from repro.core import analyze
 from repro.data.universe import INTEGERS
-from repro.setjoins import divide_hash
 
 # ----------------------------------------------------------------------
 # 1. Databases are schemas plus finite relations (set semantics).
@@ -33,51 +32,71 @@ db = database(
 print("database size |D| =", db.size())
 
 # ----------------------------------------------------------------------
-# 2. Expressions use the paper's positional syntax (1-based columns).
+# 2. A Session is the front door: it owns the engine's caches for one
+#    database and plans every query cost-based against its statistics.
+#    Expressions use the paper's positional syntax (1-based columns).
 # ----------------------------------------------------------------------
 
-who_takes_required = parse(
-    "project[1](Enrolled semijoin[2=1] Required)", db.schema
+session = Session(db)
+
+who_takes_required = session.query(
+    "project[1](Enrolled semijoin[2=1] Required)"
 )
-print(f"\n{to_text(who_takes_required)} =")
-for row in sorted(evaluate(who_takes_required, db)):
+print(f"\n{who_takes_required.text} =")
+for row in sorted(who_takes_required.run()):
     print("  ", row)
 
 # ----------------------------------------------------------------------
 # 3. Division: who is enrolled in EVERY required course?
-#    The classic RA plan works but is provably quadratic (Prop. 26).
+#    The classic RA plan works but is provably quadratic (Prop. 26);
+#    the engine recognizes the pattern and runs linear hash division.
 # ----------------------------------------------------------------------
 
-classic = parse(
+classic = session.query(
     "project[1](Enrolled) minus "
-    "project[1]((project[1](Enrolled) cartesian Required) minus Enrolled)",
-    db.schema,
+    "project[1]((project[1](Enrolled) cartesian Required) minus Enrolled)"
 )
-print(f"\nclassic division plan: {to_text(classic)}")
-print("quotient:", sorted(evaluate(classic, db)))
+print(f"\nclassic division plan: {classic.text}")
+print("quotient:", sorted(classic.run()))
+print("\nwhat the engine actually ran:")
+print(classic.explain())
 
-# The direct algorithm gives the same answer in linear time.
+# The algorithm zoo is reachable through the same session.
 print(
     "hash-division quotient:",
-    sorted(divide_hash(db["Enrolled"], db["Required"])),
+    sorted(session.divide("Enrolled", "Required", algorithm="hash")),
 )
 
 # ----------------------------------------------------------------------
-# 4. Tracing shows every intermediate result size — the quantity the
-#    paper's dichotomy theorem (Thm. 17) is about.
+# 4. Repeated queries are served from the session's result cache —
+#    zero physical operators run — until the database changes.
+# ----------------------------------------------------------------------
+
+classic.run()  # identical query, unchanged contents
+report = session.last_report
+print(
+    f"\nsecond run: cached={report.cached}, "
+    f"operators executed={report.operators_executed()}"
+)
+
+# ----------------------------------------------------------------------
+# 5. Tracing shows every intermediate result size — the quantity the
+#    paper's dichotomy theorem (Thm. 17) is about.  A trace measures
+#    the expression *as written*, so it bypasses the engine
+#    (session.oracle does the same for results).
 # ----------------------------------------------------------------------
 
 print("\nintermediate sizes of the classic plan:")
-print(trace(classic, db).report())
+print(trace(classic.expr, db).report())
 
 # ----------------------------------------------------------------------
-# 5. The dichotomy analysis: LINEAR (with an SA= compilation) or
+# 6. The dichotomy analysis: LINEAR (with an SA= compilation) or
 #    QUADRATIC (with a replayable Lemma 24 witness).
 # ----------------------------------------------------------------------
 
 print("\n-- analyze a safe join --")
 report = analyze(
-    parse("Enrolled join[2=1] Required", db.schema),
+    session.parse("Enrolled join[2=1] Required"),
     db.schema,
     INTEGERS,
     sample_databases=[db],
@@ -85,9 +104,10 @@ report = analyze(
 print(report.summary())
 
 print("\n-- analyze the division plan --")
-report = analyze(classic, db.schema, INTEGERS)
+report = analyze(classic.expr, db.schema, INTEGERS)
 print(report.summary())
 print(
     "\nThe division plan is quadratic — and by Proposition 26 every RA"
     "\nplan for division must be: this is the paper's headline result."
+    "\nThe engine's rewrite (shown above) is how the repo acts on it."
 )

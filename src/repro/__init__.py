@@ -4,6 +4,8 @@
 The package implements the paper's full formal apparatus as executable,
 tested code:
 
+* :mod:`repro.session` — the ``Session`` front door: prepared queries,
+  execution reports, and the cross-query result cache;
 * :mod:`repro.data` — ordered universes, schemas, databases, C-stored tuples;
 * :mod:`repro.algebra` — the relational algebra RA and semijoin algebra SA;
 * :mod:`repro.logic` — the guarded fragment GF and the Theorem 8 translations;
@@ -22,11 +24,14 @@ __version__ = "1.0.0"
 
 from repro.data import Database, Schema, database
 from repro.algebra import Condition, Expr, evaluate, parse, rel, to_text, trace
+from repro.session import PreparedQuery, Session
 
 __all__ = [
     "__version__",
     "Database",
+    "PreparedQuery",
     "Schema",
+    "Session",
     "database",
     "Condition",
     "Expr",

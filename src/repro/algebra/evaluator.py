@@ -1,10 +1,13 @@
 """Set-semantics evaluation of RA/SA expressions (Definitions 1 and 2).
 
 :func:`evaluate` is the production entry point.  Plain calls
-(``evaluate(expr, db)``) route through the cost-aware engine
-(:mod:`repro.engine`), which rewrites recognized division patterns to
-the linear direct algorithms and picks hash operators per join — the
-Theorem 17 plan choice made automatic.  The classic memoizing
+(``evaluate(expr, db)``) route through the cost-aware engine via the
+shared per-database :class:`~repro.session.Session`
+(:func:`repro.session.run`), which rewrites recognized division
+patterns to the linear direct algorithms and picks hash operators per
+join — the Theorem 17 plan choice made automatic.  Callers who want
+prepared queries, execution reports, or the cross-query result cache
+should hold a :class:`~repro.session.Session` directly.  The classic memoizing
 tree-walk below remains as the *structural evaluator*: it computes each
 logical sub-expression exactly as written, which is what the
 Definition 16 trace measures, so any call that passes a ``memo`` (or an
@@ -89,7 +92,7 @@ def evaluate(
             "populate a per-sub-expression memo or honor evaluation hooks"
         )
     if use_engine:
-        from repro.engine import run
+        from repro.session import run
 
         return run(expr, db)
     if memo is None:

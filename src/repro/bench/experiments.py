@@ -777,8 +777,9 @@ def prop26(result: ExperimentResult) -> ExperimentResult:
     "intermediate at the largest size, near-linear scaling",
 )
 def engine(result: ExperimentResult) -> ExperimentResult:
-    from repro.engine import Executor, plan_expression
+    from repro.engine import plan_expression
     from repro.engine.plan import DivisionOp
+    from repro.session import Session
 
     expr = classic_division_expr()
     plan = plan_expression(expr)
@@ -794,12 +795,13 @@ def engine(result: ExperimentResult) -> ExperimentResult:
     for n in ns:
         db = crossproduct_division_family(n)
         classic_max = trace(expr, db).max_intermediate()
-        executor = Executor(db)
-        engine_rows = executor.execute(plan)
-        engine_max = executor.stats.max_intermediate()
+        # Caching off: the claim is about the work one evaluation does.
+        session = Session(db, cache_results=False)
+        engine_rows = session.run(expr)
+        engine_max = session.last_report.stats.max_intermediate()
         result.check(
-            f"engine agrees with the structural evaluator at n={n}",
-            engine_rows == evaluate(expr, db, use_engine=False),
+            f"engine agrees with the structural oracle at n={n}",
+            engine_rows == session.oracle(expr),
         )
         sizes.append(db.size())
         classic_peaks.append(classic_max)
@@ -838,29 +840,51 @@ def engine(result: ExperimentResult) -> ExperimentResult:
         isinstance(gamma_plan, DivisionOp),
         gamma_plan.label(),
     )
-    empty = database({"R": 2, "S": 1}, R=[(1, 7)])
-    from repro.engine import run as engine_run
-
+    empty_session = Session(database({"R": 2, "S": 1}, R=[(1, 7)]))
     result.check(
         "empty-divisor semantics preserved per source plan "
         "(classic → all candidates, γ → ∅)",
-        engine_run(expr, empty) == frozenset({(1,)})
-        and engine_run(gamma, empty) == frozenset(),
+        empty_session.run(expr) == frozenset({(1,)})
+        and empty_session.run(gamma) == frozenset(),
     )
 
-    # Index-cache reuse: two queries against one executor share builds.
+    # Index-cache reuse: two queries against one session share builds.
     db = crossproduct_division_family(32)
-    schema = Schema({"R": 2, "S": 1})
-    executor = Executor(db)
-    executor.execute(plan_expression(parse("R join[2=1] S", schema)))
-    built_after_first = executor.stats.indexes_built
-    executor.execute(plan_expression(parse("R semijoin[2=1] S", schema)))
+    session = Session(db)
+    session.run("R join[2=1] S")
+    built_after_first = session.executor.indexes.builds
+    session.run("R semijoin[2=1] S")
     result.check(
         "the hash-index cache is reused across queries",
-        executor.stats.indexes_built == built_after_first
-        and executor.stats.index_reuses >= 1,
-        f"{executor.stats.indexes_built} build(s), "
-        f"{executor.stats.index_reuses} reuse(s)",
+        session.executor.indexes.builds == built_after_first
+        and session.executor.indexes.reuses >= 1,
+        f"{session.executor.indexes.builds} build(s), "
+        f"{session.executor.indexes.reuses} reuse(s)",
+    )
+
+    # The session result cache: a repeated identical query against
+    # unchanged contents executes zero physical operators, and a
+    # mutation invalidates the entry (fresh rows, recomputed).
+    prepared = session.query("R join[2=1] S")
+    first = prepared.run()
+    second = prepared.run()
+    result.check(
+        "a repeated identical query is a cache hit with zero "
+        "operator executions",
+        second == first
+        and prepared.last_report.cached
+        and prepared.last_report.operators_executed() == 0,
+        f"{session.result_cache.hits} hit(s), "
+        f"{session.result_cache.misses} miss(es)",
+    )
+    mutated = db.without_tuples({"R": [next(iter(db["R"]))]})
+    db._relations = mutated._relations  # contents swap, same handle
+    refreshed = prepared.run()
+    result.check(
+        "a mutation between runs invalidates the cached result",
+        not prepared.last_report.cached
+        and refreshed == session.oracle("R join[2=1] S"),
+        f"{len(first)} row(s) before, {len(refreshed)} after",
     )
     return result
 

@@ -2,7 +2,8 @@
 
 Subcommands::
 
-    repro eval     -d db.json 'project[1](R join[2=1] S)'   # engine-backed
+    repro eval     -d db.json 'project[1](R join[2=1] S)'   # session-backed
+    repro eval     -d db.json --stats 'R join[2=1] S'       # + exec report
     repro explain  'R cartesian S' --schema 'R:2,S:1'       # physical plan
     repro explain  -d db.json --costs 'R join[2=1] S'       # + cost estimates
     repro eval     -d db.json --partition-budget 500 'R join[2=1] S'
@@ -13,8 +14,13 @@ Subcommands::
     repro bisim    -a left.json -b right.json --left-tuple 1 --right-tuple 1
     repro bench    [EXPERIMENT_ID ...]
 
-Expressions use the textual syntax of :mod:`repro.algebra.parser`; the
-schema comes from the database file or from ``--schema 'R:2,S:1'``.
+``eval``, ``explain``, ``divide``, and ``optimize`` build one
+:class:`~repro.session.Session` from the shared session flags
+(``--partition-budget``, ``--no-costs``, ``--no-reorder-joins``,
+``--no-partitions``), applied uniformly; contradictory combinations are
+rejected up front.  Expressions use the textual syntax of
+:mod:`repro.algebra.parser`; the schema comes from the database file or
+from ``--schema 'R:2,S:1'``.
 """
 
 from __future__ import annotations
@@ -33,7 +39,7 @@ from repro.data.schema import Schema
 from repro.data.universe import INTEGERS, RATIONALS, STRINGS
 from repro.errors import ReproError
 from repro.io.json_io import load_database
-from repro.setjoins.division import DIVISION_ALGORITHMS, divide_reference
+from repro.setjoins.division import DIVISION_ALGORITHMS
 
 _UNIVERSES = {
     "integers": INTEGERS,
@@ -78,70 +84,138 @@ def _schema_for(args) -> Schema:
     raise ReproError("provide --database or --schema")
 
 
-def _planner_options(args):
-    """PlannerOptions from CLI flags, or None for the engine default."""
+def _session_options(args):
+    """PlannerOptions from the shared session flags (None = defaults).
+
+    The four planner flags (``--partition-budget``, ``--no-costs``,
+    ``--no-reorder-joins``, ``--no-partitions``) are session-level:
+    every subcommand that builds a session applies them uniformly.
+    Contradictory combinations are rejected here, before any work.
+    """
     budget = getattr(args, "partition_budget", None)
-    if budget is None:
+    no_costs = bool(getattr(args, "no_costs", False))
+    no_reorder = bool(getattr(args, "no_reorder_joins", False))
+    no_partitions = bool(getattr(args, "no_partitions", False))
+    if budget is not None and no_partitions:
+        raise ReproError(
+            "--partition-budget and --no-partitions contradict each "
+            "other: a budget requests partitioned execution, "
+            "--no-partitions forbids it; drop one"
+        )
+    if budget is not None and no_costs:
+        raise ReproError(
+            "--partition-budget needs cost-based planning (partition "
+            "sizing uses the cost model's sound bounds); drop --no-costs"
+        )
+    if budget is None and not (no_costs or no_reorder or no_partitions):
         return None
     from repro.engine import PlannerOptions
 
     # PlannerOptions validates the budget itself (>= 1 row).
-    return PlannerOptions(partition_budget=budget)
+    return PlannerOptions(
+        use_costs=not no_costs,
+        reorder_joins=not no_reorder,
+        use_partitions=not no_partitions,
+        partition_budget=budget,
+    )
+
+
+def _session_from_flags(args):
+    """The shared Session built from ``-d`` plus the session flags."""
+    from repro.session import Session
+
+    db = _load_database(args.database)
+    return Session(db, options=_session_options(args))
+
+
+#: The boolean session-level planner flags: ``(args attribute, flag,
+#: help text)``.  The argparse parent parser and the ``--no-engine``
+#: rejection both derive from this one table, so a flag added here is
+#: automatically parsed everywhere *and* rejected under ``--no-engine``
+#: — the two lists cannot drift apart.
+_SESSION_BOOL_FLAGS = (
+    (
+        "no_costs",
+        "--no-costs",
+        "plan structurally: disable every cost-based decision "
+        "(operator choice, join ordering, partition sizing)",
+    ),
+    (
+        "no_reorder_joins",
+        "--no-reorder-joins",
+        "keep >=3-way join chains in their written order",
+    ),
+    (
+        "no_partitions",
+        "--no-partitions",
+        "never wrap operators in partitioned execution "
+        "(contradicts --partition-budget)",
+    ),
+)
+
+
+def _engine_flags_given(args) -> tuple[str, ...]:
+    """Engine-only flags present on ``args`` (for --no-engine checks)."""
+    given = []
+    if getattr(args, "partition_budget", None) is not None:
+        given.append("--partition-budget")
+    for attr, flag, __ in _SESSION_BOOL_FLAGS:
+        if getattr(args, attr, False):
+            given.append(flag)
+    if getattr(args, "stats", False):
+        given.append("--stats")
+    return tuple(given)
 
 
 def _cmd_eval(args) -> int:
-    db = _load_database(args.database)
-    expr = parse(args.expression, db.schema)
-    use_engine = not getattr(args, "no_engine", False)
-    options = _planner_options(args)
-    if options is not None:
-        if not use_engine:
+    if getattr(args, "no_engine", False):
+        conflicting = _engine_flags_given(args)
+        if conflicting:
             raise ReproError(
-                "--partition-budget needs the engine; drop --no-engine"
+                f"{', '.join(conflicting)} need(s) the engine; drop "
+                "--no-engine"
             )
-        from repro.engine import run
-
-        result = run(expr, db, options)
+        db = _load_database(args.database)
+        expr = parse(args.expression, db.schema)
+        result = evaluate(expr, db, use_engine=False)
     else:
-        result = evaluate(expr, db, use_engine=use_engine)
+        session = _session_from_flags(args)
+        result = session.query(args.expression).run()
     rows = sorted(result, key=repr)
     for row in rows:
         print("\t".join(str(v) for v in row))
     print(f"-- {len(rows)} row(s)", file=sys.stderr)
+    if getattr(args, "stats", False):
+        print(session.last_report.render(), file=sys.stderr)
     return 0
 
 
 def _cmd_explain(args) -> int:
-    from repro.engine import Executor, plan_expression
+    if args.database:
+        # Session-backed: the plan printed is cost-based against the
+        # database's statistics, and is exactly the plan executed and
+        # measured below (EXPLAIN ANALYZE-style).
+        session = _session_from_flags(args)
+        prepared = session.query(args.expression)
+        print(prepared.explain(costs=args.costs, analyze=args.analyze))
+        result = prepared.run()
+        print(f"-- {len(result)} row(s)", file=sys.stderr)
+        print(session.last_report.render(), file=sys.stderr)
+        return 0
+    if not args.schema:
+        raise ReproError("provide --database or --schema")
+    from repro.engine import DEFAULT_OPTIONS, plan_expression
     from repro.engine.planner import explain as explain_plan
 
-    # Load the database once: it provides the schema, the statistics
-    # behind cost-based planning, and, if present, is also executed
-    # against below (EXPLAIN ANALYZE-style).
-    db = _load_database(args.database) if args.database else None
-    if db is not None:
-        schema = db.schema
-    elif args.schema:
-        schema = _parse_schema(args.schema)
-    else:
-        raise ReproError("provide --database or --schema")
+    schema = _parse_schema(args.schema)
     expr = parse(args.expression, schema)
-    # Plan once: the plan printed is the plan executed and measured.
-    # With a database the plan is cost-based (real statistics); with
-    # only a schema it falls back to the structural rules, and --costs
-    # annotates from the zero-stats default assumptions.
-    options = _planner_options(args)
-    executor = Executor(db) if db is not None else None
-    catalog = executor.catalog if executor is not None else None
-    if executor is not None:
-        plan = executor.plan(expr, options)  # None means engine defaults
-    elif options is not None:
-        # Schema-only planning has no statistics, so the budget cannot
-        # be sized (nothing sound to size against); the plan is printed
-        # unpartitioned, matching what the engine would run.
-        plan = plan_expression(expr, options)
-    else:
-        plan = plan_expression(expr)
+    # Schema-only planning has no statistics: the structural rules
+    # apply, --costs annotates from the zero-stats default assumptions,
+    # and a partition budget cannot be sized (nothing sound to size
+    # against) — the plan is printed unpartitioned, matching what the
+    # engine would run.
+    options = _session_options(args) or DEFAULT_OPTIONS
+    plan = plan_expression(expr, options)
     print(
         explain_plan(
             expr,
@@ -149,14 +223,8 @@ def _cmd_explain(args) -> int:
             analyze=args.analyze,
             plan=plan,
             costs=args.costs,
-            catalog=catalog,
-            cost_model=executor.cost_model if executor is not None else None,
         )
     )
-    if executor is not None:
-        result = executor.execute(plan)
-        print(f"-- {len(result)} row(s)", file=sys.stderr)
-        print(executor.stats.report(), file=sys.stderr)
     return 0
 
 
@@ -186,24 +254,13 @@ def _cmd_compile(args) -> int:
 
 
 def _cmd_divide(args) -> int:
-    db = _load_database(args.database)
-    if args.algorithm == "engine":
-        from repro.algebra.ast import Rel
-        from repro.engine import run
-        from repro.setjoins.division import classic_division_expr
-
-        expr = classic_division_expr(
-            Rel(args.dividend, db.schema[args.dividend]),
-            Rel(args.divisor, db.schema[args.divisor]),
-        )
-        quotient = frozenset(a for (a,) in run(expr, db))
-    else:
-        algorithm = (
-            DIVISION_ALGORITHMS[args.algorithm]
-            if args.algorithm != "reference"
-            else divide_reference
-        )
-        quotient = algorithm(db[args.dividend], db[args.divisor])
+    # Session.divide validates the operand names and arities against
+    # the schema before dispatching, so every algorithm choice —
+    # engine-planned or direct — fails identically on bad operands.
+    session = _session_from_flags(args)
+    quotient = session.divide(
+        args.dividend, args.divisor, algorithm=args.algorithm
+    )
     for value in sorted(quotient, key=repr):
         print(value)
     print(f"-- {len(quotient)} row(s)", file=sys.stderr)
@@ -213,8 +270,10 @@ def _cmd_divide(args) -> int:
 def _cmd_optimize(args) -> int:
     from repro.algebra.optimize import optimize
 
-    schema = _schema_for(args)
-    expr = parse(args.expression, schema)
+    # Validate the shared session flags uniformly; pure rewriting then
+    # needs only the schema, not the engine machinery behind a session.
+    _session_options(args)
+    expr = parse(args.expression, _schema_for(args))
     rewritten = optimize(expr)
     print(to_ascii(rewritten) if args.ascii else to_text(rewritten))
     return 0
@@ -257,6 +316,29 @@ def _cmd_bench(args) -> int:
     return bench_main(args.ids)
 
 
+def _session_flags_parser() -> argparse.ArgumentParser:
+    """The shared session flags, as an argparse parent parser.
+
+    Attached to every subcommand that builds a :class:`~repro.session.
+    Session` (``eval``, ``explain``, ``divide``, ``optimize``), so the
+    planner knobs read identically everywhere and are applied
+    session-level rather than per call.
+    """
+    flags = argparse.ArgumentParser(add_help=False)
+    group = flags.add_argument_group("session options")
+    group.add_argument(
+        "--partition-budget",
+        type=int,
+        metavar="ROWS",
+        help="rows-in-flight cap for partitioned execution: operators "
+        "whose estimated in-flight bound exceeds it run in batches "
+        "(needs cost-based planning and a database's statistics)",
+    )
+    for __, flag, help_text in _SESSION_BOOL_FLAGS:
+        group.add_argument(flag, action="store_true", help=help_text)
+    return flags
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -267,8 +349,13 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    session_flags = _session_flags_parser()
 
-    p_eval = sub.add_parser("eval", help="evaluate an expression")
+    p_eval = sub.add_parser(
+        "eval",
+        help="evaluate an expression (session-backed)",
+        parents=[session_flags],
+    )
     p_eval.add_argument("expression")
     p_eval.add_argument("-d", "--database", required=True)
     p_eval.add_argument(
@@ -277,11 +364,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="bypass the engine and use the structural evaluator",
     )
     p_eval.add_argument(
-        "--partition-budget",
-        type=int,
-        metavar="ROWS",
-        help="rows-in-flight cap for partitioned execution: operators "
-        "whose estimated in-flight bound exceeds it run in batches",
+        "--stats",
+        action="store_true",
+        help="print the execution report to stderr: result-cache "
+        "hit/miss counters, per-operator estimated-vs-actual rows, "
+        "and the peak rows in flight",
     )
     p_eval.set_defaults(fn=_cmd_eval)
 
@@ -289,6 +376,7 @@ def build_parser() -> argparse.ArgumentParser:
         "explain",
         help="show the engine's physical plan (with -d: also execute "
         "it and report executor stats)",
+        parents=[session_flags],
     )
     p_explain.add_argument("expression")
     p_explain.add_argument("-d", "--database")
@@ -304,14 +392,6 @@ def build_parser() -> argparse.ArgumentParser:
         help="annotate each operator with the cost model's estimated "
         "rows, sound upper bound, and cost (statistics come from -d; "
         "schema-only estimates use default assumptions)",
-    )
-    p_explain.add_argument(
-        "--partition-budget",
-        type=int,
-        metavar="ROWS",
-        help="rows-in-flight cap for partitioned execution; the plan "
-        "shows Partitioned[k=...] wrappers with planned batch counts "
-        "(needs -d: sizing uses that database's statistics)",
     )
     p_explain.set_defaults(fn=_cmd_explain)
 
@@ -345,7 +425,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_compile.add_argument("--ascii", action="store_true")
     p_compile.set_defaults(fn=_cmd_compile)
 
-    p_divide = sub.add_parser("divide", help="relational division")
+    p_divide = sub.add_parser(
+        "divide",
+        help="relational division (session-backed)",
+        parents=[session_flags],
+    )
     p_divide.add_argument("-d", "--database", required=True)
     p_divide.add_argument("--dividend", default="R")
     p_divide.add_argument("--divisor", default="S")
@@ -357,7 +441,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_divide.set_defaults(fn=_cmd_divide)
 
     p_optimize = sub.add_parser(
-        "optimize", help="push selections, introduce semijoins"
+        "optimize",
+        help="push selections, introduce semijoins",
+        parents=[session_flags],
     )
     p_optimize.add_argument("expression")
     p_optimize.add_argument("-d", "--database")

@@ -25,25 +25,34 @@ algorithm one level down.  This package is the layer that acts on that:
   from the cost model's sound upper bounds
   (``PlannerOptions.partition_budget``).
 
-Typical use::
+Typical use goes through the :class:`~repro.session.Session` front
+door (``docs/session.md``)::
 
-    from repro.engine import run, explain
+    from repro.session import Session
 
-    rows = run(expr, db)            # plan + execute
-    print(explain(expr))            # what the planner chose, and why
+    session = Session(db)
+    rows = session.run(expr)                    # plan + execute (+ cache)
+    print(session.explain(expr, costs=True))    # what the planner chose
+
+:func:`run` below remains as a thin compatibility shim over the shared
+implicit session; new code should construct a ``Session``.
 
 See ``docs/engine.md`` for the architecture and the routing rules.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
-
 from repro.algebra.ast import Expr
 from repro.algebra.evaluator import Relation
 from repro.data.database import Database
 from repro.engine.cost import CostModel, Estimate, estimate_plan
-from repro.engine.executor import ExecutionStats, Executor, IndexCache, execute_plan
+from repro.engine.executor import (
+    ExecutionStats,
+    Executor,
+    IndexCache,
+    ResultCache,
+    execute_plan,
+)
 from repro.engine.partition import (
     BatchRecord,
     PartitionRun,
@@ -76,6 +85,7 @@ __all__ = [
     "PlanNode",
     "Planner",
     "PlannerOptions",
+    "ResultCache",
     "StatsCatalog",
     "apply_partitioning",
     "estimate_plan",
@@ -88,30 +98,6 @@ __all__ = [
     "run",
 ]
 
-#: Executors bound to recently seen databases, so back-to-back queries
-#: against the same database share the hash-index cache even when the
-#: caller does not manage an Executor.  Result memos are reset after
-#: every top-level query (queries recompute; only index builds
-#: amortize), and an executor whose indexes hold more than the row
-#: bound is dropped rather than pinned.  Strong references, hence the
-#: small FIFO bound on cached databases.
-_EXECUTOR_CACHE_SIZE = 8
-_EXECUTOR_ROWS_BOUND = 200_000
-_executors: "OrderedDict[Database, Executor]" = OrderedDict()
-
-
-def _executor_for(db: Database) -> Executor:
-    executor = _executors.get(db)
-    if executor is None:
-        executor = Executor(db)
-        _executors[db] = executor
-        while len(_executors) > _EXECUTOR_CACHE_SIZE:
-            _executors.popitem(last=False)
-    else:
-        _executors.move_to_end(db)
-    return executor
-
-
 def run(
     expr: Expr,
     db: Database,
@@ -120,24 +106,24 @@ def run(
 ) -> Relation:
     """Plan ``expr`` and execute it on ``db``.
 
-    Planning is **cost-based**: the executor bound to ``db`` owns the
-    statistics catalog, so :meth:`Executor.plan` prices operator
-    choices against this database's actual cardinalities (with the
-    structural rules as the zero-stats fallback) and memoizes the plan
-    per (expression, options, contents version).  Executors are reused
-    per database so repeated calls share hash-index builds and
-    statistics; each call recomputes its result (the per-query memo is
-    reset between calls).  Pass an :class:`Executor` bound to ``db`` to
-    manage reuse explicitly — caller-managed executors keep their
-    result memo across :meth:`~Executor.execute` calls.
+    .. deprecated::
+        Compatibility shim — the :class:`~repro.session.Session` front
+        door (``docs/session.md``) is the supported entry point.  With
+        no ``executor`` this delegates to :func:`repro.session.run`,
+        which routes through the shared per-database session: planning
+        is cost-based against the database's actual cardinalities,
+        plans/indexes/statistics amortize across calls, and every cache
+        is version-token invalidated.  Results are recomputed per call
+        (the shared sessions keep result caching off); construct a
+        ``Session`` to opt into the cross-query result cache.
+
+    Pass an :class:`Executor` bound to ``db`` to manage reuse
+    explicitly — caller-managed executors keep their result memo
+    across :meth:`~Executor.execute` calls.
     """
     if executor is None:
-        executor = _executor_for(db)
-        plan = executor.plan(expr, options)
-        result = execute_plan(plan, db, executor)
-        executor.reset_query_state()
-        if executor.indexes.rows_indexed > _EXECUTOR_ROWS_BOUND:
-            _executors.pop(db, None)
-        return result
+        from repro.session import run as session_run
+
+        return session_run(expr, db, options)
     plan = executor.plan(expr, options)
     return execute_plan(plan, db, executor)

@@ -129,6 +129,7 @@ class ExecutionStats:
     def report(self) -> str:
         lines = [
             f"max intermediate : {self.max_intermediate()}",
+            f"max in flight    : {self.max_in_flight()}",
             f"indexes built    : {self.indexes_built}"
             f" (reused {self.index_reuses}x)",
         ]
@@ -189,6 +190,120 @@ class IndexCache:
         return len(self._indexes)
 
 
+#: Default byte budget for a :class:`ResultCache` (estimated bytes of
+#: cached row tuples, not process RSS): generous for the in-memory
+#: workloads this engine targets while still bounding a long session.
+DEFAULT_CACHE_BYTES = 32 * 1024 * 1024
+
+
+def _result_bytes(result: Relation) -> int:
+    """Estimated memory footprint of one cached result.
+
+    A deliberate estimate (CPython tuple/frozenset header sizes plus
+    one pointer per value), not a deep ``getsizeof`` walk — eviction
+    needs a monotone, cheap measure, not an exact one.
+    """
+    return 64 + sum(56 + 8 * len(row) for row in result)
+
+
+class ResultCache:
+    """Cross-query result cache: ``(fingerprint, options, token) → rows``.
+
+    The ROADMAP's cross-query caching seam, owned by the
+    :class:`~repro.session.Session` front door and consulted by
+    :meth:`Executor.execute_cached`.  The key triple makes staleness
+    structural rather than temporal:
+
+    * the **plan fingerprint** (:meth:`~repro.engine.plan.PlanNode.
+      fingerprint`) identifies *what* is computed, so distinct query
+      texts that plan to the same physical shape share one entry;
+    * the **planner options** distinguish plans the same fingerprint
+      could not (and keep ablation runs honest);
+    * the **version token** (:meth:`~repro.data.database.Database.
+      version_token`) identifies the contents the result was computed
+      against — any mutation moves the token, and :meth:`invalidate`
+      additionally drops every entry whenever the executor detects a
+      version change, so a token colliding after an A→B→A content
+      swap still cannot resurrect rows computed before the swap.
+
+    Entries are LRU-evicted against ``byte_budget`` (estimated bytes
+    of the cached rows — the same discipline as the executor's other
+    LRU-bounded memos, but sized in bytes because results, unlike
+    plans, can be arbitrarily wide).  A result larger than the whole
+    budget is never admitted.  ``enabled=False`` turns every lookup
+    into a miss and every store into a no-op, so callers do not need
+    two code paths.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        byte_budget: int = DEFAULT_CACHE_BYTES,
+    ) -> None:
+        if byte_budget < 0:
+            raise SchemaError(
+                f"ResultCache byte_budget must be >= 0, got {byte_budget}"
+            )
+        self.enabled = enabled
+        self.byte_budget = byte_budget
+        self._entries: "OrderedDict[tuple, tuple[Relation, int]]" = (
+            OrderedDict()
+        )
+        self.total_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: tuple) -> Relation | None:
+        """The cached rows for ``key``, or None (counted as hit/miss)."""
+        if not self.enabled:
+            self.misses += 1
+            return None
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry[0]
+
+    def put(self, key: tuple, result: Relation) -> None:
+        """Store ``result``, evicting LRU entries past the byte budget."""
+        if not self.enabled:
+            return
+        size = _result_bytes(result)
+        if size > self.byte_budget:
+            return  # would evict everything and still not fit
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self.total_bytes -= old[1]
+        self._entries[key] = (result, size)
+        self.total_bytes += size
+        while self.total_bytes > self.byte_budget and len(self._entries) > 1:
+            __, (___, evicted_size) = self._entries.popitem(last=False)
+            self.total_bytes -= evicted_size
+            self.evictions += 1
+
+    def invalidate(self) -> None:
+        """Drop every entry (called on version-token movement)."""
+        if self._entries:
+            self.invalidations += 1
+        self._entries.clear()
+        self.total_bytes = 0
+
+    def stats_line(self) -> str:
+        state = "on" if self.enabled else "off"
+        return (
+            f"result cache [{state}]: {self.hits} hit(s), "
+            f"{self.misses} miss(es), {len(self)} entr(y/ies), "
+            f"~{self.total_bytes} byte(s), {self.evictions} eviction(s)"
+        )
+
+
 class Executor:
     """Execute physical plans against one database.
 
@@ -210,7 +325,9 @@ class Executor:
     #: Max nodes the shared cost model may memoize before recycling.
     COST_MEMO_BOUND = 50_000
 
-    def __init__(self, db: Database) -> None:
+    def __init__(
+        self, db: Database, results: ResultCache | None = None
+    ) -> None:
         from repro.engine.cost import CostModel
         from repro.engine.stats import StatsCatalog
 
@@ -221,6 +338,11 @@ class Executor:
         #: One cost model for planning *and* execution-time recording,
         #: so estimates priced during planning are reused, not redone.
         self.cost_model = CostModel(self.catalog)
+        #: The cross-query result cache seam (None → no caching).  The
+        #: :class:`~repro.session.Session` front door passes one in;
+        #: it is invalidated with every other cache on version-token
+        #: movement, so a mutated database is never served stale rows.
+        self.results = results
         self._memo: dict[PlanNode, Relation] = {}
         self._plans: "OrderedDict[tuple[Expr, object], PlanNode]" = (
             OrderedDict()
@@ -229,6 +351,11 @@ class Executor:
             OrderedDict()
         )
         self._version = db.version_token()
+
+    @property
+    def version(self) -> int:
+        """The contents version the executor's caches are valid for."""
+        return self._version
 
     def check_version(self) -> None:
         """Invalidate every cache if the relation contents changed.
@@ -251,6 +378,8 @@ class Executor:
         self.catalog.invalidate()
         self.cost_model = CostModel(self.catalog)
         self.stats = ExecutionStats()
+        if self.results is not None:
+            self.results.invalidate()
 
     def plan(self, expr: Expr, options=None) -> PlanNode:
         """Cost-based plan for ``expr`` using this database's statistics.
@@ -287,6 +416,37 @@ class Executor:
         self.stats.index_reuses = self.indexes.reuses
         self.stats.node_estimates.update(self._estimates_for(plan))
         return result
+
+    def cache_key(self, plan: PlanNode, options) -> tuple:
+        """The result-cache key for ``plan`` under ``options`` *now*.
+
+        ``(plan fingerprint, planner options, version token)`` — see
+        :class:`ResultCache` for why each component is needed.  Call
+        after :meth:`check_version` (``plan``/``execute`` do) so the
+        token matches the statistics the plan was priced against.
+        """
+        return (plan.fingerprint(), options, self._version)
+
+    def execute_cached(self, plan: PlanNode, options) -> tuple[Relation, bool]:
+        """Execute ``plan``, serving from the result cache when possible.
+
+        Returns ``(rows, cached)``.  On a hit no plan node is
+        dispatched at all — ``ExecutionStats`` records zero operator
+        executions — which is the contract the session-level cache
+        tests assert.  On a miss the result is computed by
+        :meth:`execute` and stored.  With no :attr:`results` cache
+        attached this is exactly ``(self.execute(plan), False)``.
+        """
+        self.check_version()
+        if self.results is None:
+            return self.execute(plan), False
+        key = self.cache_key(plan, options)
+        cached = self.results.get(key)
+        if cached is not None:
+            return cached, True
+        result = self.execute(plan)
+        self.results.put(key, result)
+        return result, False
 
     def _estimates_for(self, plan: PlanNode):
         """Cost-model estimates for ``plan``, memoized per version.

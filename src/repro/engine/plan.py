@@ -91,6 +91,39 @@ class PlanNode:
     def size(self) -> int:
         return 1 + sum(child.size() for child in self.children())
 
+    def fingerprint(self) -> str:
+        """A stable digest of what this plan *computes*.
+
+        Two plans with equal fingerprints produce equal results against
+        the same relation contents: the digest covers each operator's
+        :meth:`label` — which renders every execution-relevant
+        parameter (scanned relation, key/condition atoms, projection
+        positions, division method and empty-divisor policy, grouping
+        spec) — and the child fingerprints, but deliberately *not* the
+        planner's ``note`` rationale or the ``logical`` source
+        expression.  Distinct logical expressions that plan to the same
+        physical shape (e.g. ``π₁(R ⋈ S)`` and ``π₁(R ⋉ S)`` after the
+        Corollary 19 rewrite) therefore share a fingerprint, which is
+        what lets the session result cache serve structurally shared
+        queries from one entry.  Keyed caches must pair the fingerprint
+        with a :meth:`~repro.data.database.Database.version_token` —
+        the fingerprint identifies the computation, the token the
+        contents it ran against.
+        """
+        cached = self.__dict__.get("_fingerprint")
+        if cached is None:
+            import hashlib
+
+            digest = hashlib.sha256()
+            digest.update(self.label().encode())
+            for child in self.children():
+                digest.update(b"(")
+                digest.update(child.fingerprint().encode())
+                digest.update(b")")
+            cached = digest.hexdigest()[:32]
+            object.__setattr__(self, "_fingerprint", cached)
+        return cached
+
     def explain(self, indent: str = "", annotate=None) -> str:
         """EXPLAIN-style rendering: one line per operator.
 

@@ -89,20 +89,30 @@ def execute_division_plan(
     r: Expr | None = None,
     s: Expr | None = None,
     executor=None,
+    session=None,
 ):
     """Run the §5 plan through the engine (routed to linear division).
 
-    The engine's planner collapses the γ expression into one
+    The planner collapses the γ expression into one
     :class:`~repro.engine.plan.DivisionOp`, so no join or grouping
     intermediate is materialized; semantics (including the
     empty-divisor caveat) match :func:`repro.extended.evaluator.
-    evaluate_extended` on the same expression exactly.  Pass an
-    :class:`~repro.engine.executor.Executor` to share caches across
-    calls against the same database.
+    evaluate_extended` on the same expression exactly.  Pass a
+    :class:`~repro.session.Session` bound to ``db`` to share caches
+    (and the cross-query result cache) across calls; with neither
+    ``session`` nor the legacy ``executor`` shim the shared implicit
+    session is used (:func:`repro.session.run`).
     """
-    from repro.engine import run
+    expr = division_plan(eq, r, s)
+    if session is not None:
+        return session.run(expr)
+    if executor is not None:
+        from repro.engine import run
 
-    return run(division_plan(eq, r, s), db, executor=executor)
+        return run(expr, db, executor=executor)
+    from repro.session import run as session_run
+
+    return session_run(expr, db)
 
 
 def physical_division_plan(eq: bool = False):

@@ -52,6 +52,94 @@ class TestEvalEngine:
         assert capsys.readouterr().out == engine_out
 
 
+class TestSessionFlags:
+    """The shared session flags, applied uniformly to eval/explain/divide."""
+
+    def test_eval_stats_reports_estimates_and_in_flight(self, db_path, capsys):
+        assert (
+            main(["eval", "-d", db_path, "--stats", "R join[2=1] S"]) == 0
+        )
+        err = capsys.readouterr().err
+        assert "max in flight" in err
+        assert "result cache" in err
+        assert "ub=" in err  # estimated-vs-actual per operator
+
+    @pytest.mark.parametrize(
+        "flag",
+        ["--no-costs", "--no-reorder-joins", "--no-partitions"],
+    )
+    def test_planner_flags_accepted_uniformly(self, db_path, flag, capsys):
+        for argv in (
+            ["eval", "-d", db_path, flag, "R join[2=1] S"],
+            ["explain", "-d", db_path, flag, "R join[2=1] S"],
+            ["divide", "-d", db_path, flag],
+        ):
+            assert main(argv) == 0, argv
+        capsys.readouterr()
+
+    def test_no_costs_plans_structurally(self, db_path, capsys):
+        # Against this tiny database the cost model prefers a nested
+        # loop; --no-costs must force the structural hash choice.
+        assert (
+            main(["explain", "-d", db_path, "--no-costs", "R join[2=1] S"])
+            == 0
+        )
+        assert "HashJoin" in capsys.readouterr().out
+
+    def test_contradictory_budget_and_no_partitions(self, db_path, capsys):
+        code = main(
+            [
+                "eval", "-d", db_path,
+                "--partition-budget", "5", "--no-partitions",
+                "R join[2=1] S",
+            ]
+        )
+        assert code == 2
+        assert "contradict" in capsys.readouterr().err
+
+    def test_contradictory_budget_and_no_costs(self, db_path, capsys):
+        code = main(
+            [
+                "explain", "-d", db_path,
+                "--partition-budget", "5", "--no-costs",
+                "R join[2=1] S",
+            ]
+        )
+        assert code == 2
+        assert "--no-costs" in capsys.readouterr().err
+
+    def test_engine_flags_rejected_with_no_engine(self, db_path, capsys):
+        for extra in (
+            ["--stats"],
+            ["--no-costs"],
+            ["--partition-budget", "5"],
+        ):
+            code = main(
+                ["eval", "-d", db_path, "--no-engine", *extra,
+                 "R join[2=1] S"]
+            )
+            assert code == 2, extra
+            assert "--no-engine" in capsys.readouterr().err
+
+    def test_optimize_accepts_and_validates_session_flags(
+        self, db_path, capsys
+    ):
+        assert (
+            main(
+                ["optimize", "-d", db_path, "--no-costs", "--ascii",
+                 "project[1,2](R join[2=1] S)"]
+            )
+            == 0
+        )
+        assert "semijoin" in capsys.readouterr().out
+        code = main(
+            ["optimize", "-d", db_path, "--partition-budget", "5",
+             "--no-partitions", "project[1](R)"]
+        )
+        assert code == 2
+        assert "contradict" in capsys.readouterr().err
+
+
 class TestExplain:
     def test_explain_with_schema(self, capsys):
         code = main(
@@ -148,6 +236,60 @@ class TestDivide:
             main(["divide", "-d", db_path, "--algorithm", algorithm]) == 0
         )
         assert "1" in capsys.readouterr().out
+
+
+class TestDivideValidationUniformity:
+    """Regression: dividend validation must not depend on the algorithm.
+
+    The CLI used to validate operands data-driven on the direct paths
+    (an *empty* ternary dividend passed vacuously) but shape-driven on
+    the engine path (always rejected) — the session front door now
+    validates against the schema before dispatching, so every
+    algorithm fails identically, with the same message and exit code.
+    """
+
+    @pytest.fixture
+    def bad_db_path(self, tmp_path):
+        db = database({"T": 3, "R": 2, "S": 1}, R=[(1, 7)], S=[(7,)])
+        path = tmp_path / "bad.json"
+        save_database(db, path)
+        return str(path)
+
+    @pytest.mark.parametrize(
+        "algorithm", ["reference", "hash", "counting", "engine"]
+    )
+    def test_empty_ternary_dividend_rejected_everywhere(
+        self, bad_db_path, algorithm, capsys
+    ):
+        code = main(
+            ["divide", "-d", bad_db_path, "--dividend", "T",
+             "--algorithm", algorithm]
+        )
+        assert code == 2
+        assert "binary dividend" in capsys.readouterr().err
+
+    def test_error_message_identical_across_algorithms(
+        self, bad_db_path, capsys
+    ):
+        messages = set()
+        for algorithm in ("reference", "hash", "engine"):
+            main(
+                ["divide", "-d", bad_db_path, "--dividend", "T",
+                 "--algorithm", algorithm]
+            )
+            messages.add(capsys.readouterr().err)
+        assert len(messages) == 1
+
+    @pytest.mark.parametrize("algorithm", ["hash", "engine"])
+    def test_unknown_operands_rejected_everywhere(
+        self, bad_db_path, algorithm, capsys
+    ):
+        code = main(
+            ["divide", "-d", bad_db_path, "--dividend", "Nope",
+             "--algorithm", algorithm]
+        )
+        assert code == 2
+        assert "Nope" in capsys.readouterr().err
 
 
 class TestBisim:

@@ -374,35 +374,38 @@ class TestEvaluatorIntegration:
         with pytest.raises(SchemaError):
             evaluate(classic_division_expr(), db, {}, use_engine=True)
 
-    def test_run_reuses_cached_executor_indexes(self, db):
-        import repro.engine as engine_module
+    def test_run_reuses_cached_session_indexes(self, db):
+        import repro.session as session_module
 
-        engine_module._executors.clear()
+        session_module._sessions.clear()
         run(parse("R join[2=1] S", SCHEMA), db)
         run(parse("R semijoin[2=1] S", SCHEMA), db)
-        executor = engine_module._executors[db]
+        executor = session_module._sessions[db].executor
         assert executor.indexes.builds == 1
         assert executor.indexes.reuses >= 1
 
     def test_run_does_not_pin_query_results(self, db):
-        import repro.engine as engine_module
+        import repro.session as session_module
 
-        engine_module._executors.clear()
+        session_module._sessions.clear()
         run(parse("R cartesian S", SCHEMA), db)
         # Only index state survives a top-level query; the result memo
         # is reset so repeated calls recompute (and big relations are
-        # never pinned by the module-level cache).
-        executor = engine_module._executors[db]
+        # never pinned by the module-level cache).  The implicit shared
+        # sessions also keep result caching off — that is the explicit
+        # Session front door's opt-in.
+        executor = session_module._sessions[db].executor
         assert executor._memo == {}
         assert executor.stats.node_rows == {}
+        assert not executor.results.enabled
 
-    def test_run_evicts_index_heavy_executors(self, db, monkeypatch):
-        import repro.engine as engine_module
+    def test_run_evicts_index_heavy_sessions(self, db, monkeypatch):
+        import repro.session as session_module
 
-        monkeypatch.setattr(engine_module, "_EXECUTOR_ROWS_BOUND", 1)
-        engine_module._executors.clear()
+        monkeypatch.setattr(session_module, "_SESSION_ROWS_BOUND", 1)
+        session_module._sessions.clear()
         run(parse("R join[2=1] S", SCHEMA), db)
-        assert db not in engine_module._executors
+        assert db not in session_module._sessions
 
     def test_memo_selects_structural_path(self, db):
         memo = {}

@@ -14,7 +14,16 @@ import pytest
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
 
 LANDMARKS = {
-    "quickstart.py": ["quotient:", "verdict    : quadratic"],
+    "quickstart.py": [
+        "quotient:",
+        "verdict    : quadratic",
+        "cached=True, operators executed=0",
+    ],
+    "session_tour.py": [
+        "cached=True, operators executed=0",
+        "engine result == structural oracle result: True",
+        "result cache [on]",
+    ],
     "medical_symptoms.py": ["Person ÷ Symptoms", "algorithm"],
     "beer_drinkers.py": ["Example 3 (SA=):", "verdict    : quadratic"],
     "blowup_walkthrough.py": ["free values F1", "|E(Dn)|"],
