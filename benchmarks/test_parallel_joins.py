@@ -1,0 +1,291 @@
+"""PARALLEL — shard-per-worker execution, measured where the gate fires.
+
+The partition layer already makes batches key-disjoint; this suite
+measures what dispatching those batches across a process pool buys and
+writes the first machine-readable trajectory (``BENCH_parallel.json``
+at the repo root) for cross-version tracking:
+
+* the fig1-style shoot-out in its quadratic regime — eight hot
+  symptoms shared by thousands of patients, a rest atom that never
+  holds, so the semijoin scans every candidate pair — is exactly where
+  the cost model's pair bound certifies the dispatch; wall-clock at 1
+  vs N workers is recorded, and on a machine with ≥ 4 cores the 4-way
+  run must beat serial by ≥ 2×;
+* the Proposition 26 division family is the opposite regime: the
+  engine's direct division is *linear*, so shipping rows to workers
+  costs more IPC than the divided work saves — the gate must refuse,
+  and the forced-parallel trajectory quantifies how right it is;
+* every measured configuration is checked against the brute-force
+  oracle (``use_engine=False`` evaluation or ``divide_reference``).
+
+Worker count comes from ``REPRO_BENCH_WORKERS`` (default 4).  The
+speedup assertion is guarded by ``os.cpu_count() >= 4`` so the suite
+stays honest on small CI boxes while still failing a real regression
+on multi-core runners.
+"""
+
+import json
+import os
+import time
+from dataclasses import fields, replace
+from pathlib import Path
+
+import pytest
+
+from repro.algebra.evaluator import evaluate
+from repro.algebra.parser import parse
+from repro.data.database import Database
+from repro.data.schema import Schema
+from repro.engine import (
+    Executor,
+    ParallelOp,
+    ParallelRun,
+    PartitionedOp,
+    PlannerOptions,
+)
+from repro.engine.plan import PARTITIONABLE_OPS
+from repro.setjoins.division import classic_division_expr, divide_reference
+from repro.workloads.generators import crossproduct_division_family
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+RESULTS_PATH = REPO_ROOT / "BENCH_parallel.json"
+WORKERS = max(2, int(os.environ.get("REPRO_BENCH_WORKERS", "4")))
+TIMING_REPEATS = 3
+
+RESULTS: dict = {
+    "benchmark": "parallel-set-joins",
+    "workers": WORKERS,
+    "cpu_count": os.cpu_count(),
+    "sections": {},
+}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def emit_results():
+    """Write the accumulated trajectory after the module's tests ran."""
+    yield
+    RESULTS_PATH.write_text(
+        json.dumps(RESULTS, indent=2, sort_keys=True) + "\n"
+    )
+
+
+# ----------------------------------------------------------------------
+# Workloads
+# ----------------------------------------------------------------------
+
+HOT_QUERY = "Person semijoin[2=2,1>1] Disease"
+
+
+def hot_symptom_db(
+    groups: int = 8, persons: int = 2400, diseases: int = 800
+) -> Database:
+    """The fig1 shoot-out in its quadratic regime.
+
+    Eight hot symptoms (within the MCV sketch size, so the pair bound
+    is exact) shared by every patient and disease; disease keys are
+    offset so the ``1>1`` rest atom never holds and the semijoin scans
+    all ``persons·diseases/groups`` candidate pairs for a small output.
+    """
+    return Database(
+        Schema({"Person": 2, "Disease": 2}),
+        {
+            "Person": {(i, i % groups) for i in range(persons)},
+            "Disease": {(10**6 + j, j % groups) for j in range(diseases)},
+        },
+    )
+
+
+@pytest.fixture(scope="module")
+def shootout_db():
+    return hot_symptom_db()
+
+
+@pytest.fixture(scope="module")
+def shootout_oracle(shootout_db):
+    expr = parse(HOT_QUERY, shootout_db.schema)
+    return evaluate(expr, shootout_db, use_engine=False)
+
+
+def force_parallel(node, workers):
+    """Wrap partitionable operators in ParallelOps, bypassing the gate."""
+    if isinstance(node, PartitionedOp):
+        return ParallelOp(
+            _force_children(node.inner, workers),
+            node.partitions,
+            node.budget,
+            workers,
+        )
+    rebuilt = _force_children(node, workers)
+    if isinstance(rebuilt, PARTITIONABLE_OPS):
+        return ParallelOp(rebuilt, 1, None, workers)
+    return rebuilt
+
+
+def _force_children(node, workers):
+    changes = {}
+    for f in fields(node):
+        value = getattr(node, f.name)
+        if hasattr(value, "children") and hasattr(value, "label"):
+            new = force_parallel(value, workers)
+            if new is not value:
+                changes[f.name] = new
+    return replace(node, **changes) if changes else node
+
+
+def best_of(fn, repeats: int = TIMING_REPEATS):
+    """(best wall-clock seconds, last result) over ``repeats`` runs."""
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def parallel_nodes(plan):
+    return [n for n in plan.nodes() if isinstance(n, ParallelOp)]
+
+
+# ----------------------------------------------------------------------
+# fig1 shoot-out: the regime the gate certifies
+# ----------------------------------------------------------------------
+
+
+def test_fig1_gate_certifies_the_quadratic_regime(shootout_db):
+    """The dispatch is cost-based: certified here, byte-identical serial."""
+    expr = parse(HOT_QUERY, shootout_db.schema)
+    executor = Executor(shootout_db)
+    plan = executor.plan(expr, PlannerOptions(max_workers=WORKERS))
+    (node,) = parallel_nodes(plan)
+    assert node.workers == WORKERS
+    assert "beats serial" in node.note
+    serial = executor.plan(expr, PlannerOptions(max_workers=1))
+    assert serial == executor.plan(expr)  # the option alone changes nothing
+    RESULTS["sections"]["fig1_gate"] = {
+        "query": HOT_QUERY,
+        "partitions": node.partitions,
+        "note": node.note,
+    }
+
+
+def test_fig1_parallel_vs_serial_wall_clock(shootout_db, shootout_oracle):
+    """The headline number: 1 vs N workers on the certified workload."""
+    expr = parse(HOT_QUERY, shootout_db.schema)
+
+    def run_with(workers):
+        executor = Executor(shootout_db)
+        plan = executor.plan(expr, PlannerOptions(max_workers=workers))
+        return executor.execute(plan), executor
+
+    # Warm the statistics catalog and worker pool outside the timings.
+    warm_result, warm_executor = run_with(WORKERS)
+    assert warm_result == shootout_oracle
+
+    serial_s, (serial_result, _) = best_of(lambda: run_with(1))
+    parallel_s, (parallel_result, executor) = best_of(
+        lambda: run_with(WORKERS)
+    )
+    assert serial_result == parallel_result == shootout_oracle
+
+    (run,) = [
+        r
+        for r in executor.stats.partition_runs.values()
+        if isinstance(r, ParallelRun)
+    ]
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    cpus = os.cpu_count() or 1
+    RESULTS["sections"]["fig1_speedup"] = {
+        "query": HOT_QUERY,
+        "rows": {"Person": 2400, "Disease": 800},
+        "serial_seconds": round(serial_s, 6),
+        "parallel_seconds": round(parallel_s, 6),
+        "speedup": round(speedup, 3),
+        "batches": run.actual(),
+        "distinct_worker_pids": len(run.worker_slices()),
+        "asserted": cpus >= 4 and WORKERS >= 4,
+    }
+    if cpus >= 4 and WORKERS >= 4:
+        assert speedup >= 2.0, (
+            f"expected >= 2x at {WORKERS} workers on {cpus} cpus, "
+            f"got {speedup:.2f}x ({serial_s:.3f}s -> {parallel_s:.3f}s)"
+        )
+
+
+def test_fig1_parallel_execution_rate(benchmark, shootout_db, shootout_oracle):
+    """pytest-benchmark row for the parallel configuration itself."""
+    expr = parse(HOT_QUERY, shootout_db.schema)
+    options = PlannerOptions(max_workers=WORKERS)
+
+    def parallel():
+        executor = Executor(shootout_db)
+        return executor.execute(executor.plan(expr, options))
+
+    benchmark.group = f"parallel-fig1-semijoin-w{WORKERS}"
+    result = benchmark.pedantic(parallel, rounds=3, iterations=1)
+    assert result == shootout_oracle
+
+
+# ----------------------------------------------------------------------
+# Prop. 26 family: the regime the gate must refuse
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("n", [128, 256])
+def test_prop26_gate_refuses_ipc_dominated_division(n):
+    """Direct division is linear — scatter + IPC can never be paid back.
+
+    A gate that shipped these rows anyway would *slow the query down*;
+    refusing is the correct outcome and is pinned here at growing n.
+    """
+    db = crossproduct_division_family(n)
+    executor = Executor(db)
+    plan = executor.plan(
+        classic_division_expr(), PlannerOptions(max_workers=WORKERS)
+    )
+    assert not parallel_nodes(plan)
+    RESULTS["sections"].setdefault("prop26_gate", {})[str(n)] = {
+        "parallelized": False,
+        "reason": "linear division work, IPC-dominated",
+    }
+
+
+@pytest.mark.parametrize("n", [128, 256])
+def test_prop26_forced_parallel_trajectory(n):
+    """Force the dispatch the gate refuses and record what it costs.
+
+    The forced run must still be *correct* (the kernels are shared with
+    the serial path), just not profitable — the recorded ratio is the
+    evidence the refusal is right, alongside the fig1 speedup showing
+    the certification is right.
+    """
+    db = crossproduct_division_family(n)
+    expr = classic_division_expr()
+    oracle = divide_reference(db["R"], db["S"])
+
+    executor = Executor(db)
+    budget = n // 2 + 40
+    serial_plan = executor.plan(
+        expr, PlannerOptions(partition_budget=budget)
+    )
+    forced = force_parallel(serial_plan, WORKERS)
+    assert parallel_nodes(forced)
+
+    executor.execute(forced)  # warm the worker pool
+    # Fresh executors per run on both sides: no result memo, no stale
+    # index reuse biasing either configuration.
+    serial_s, serial_result = best_of(
+        lambda: Executor(db).execute(serial_plan)
+    )
+    parallel_s, parallel_result = best_of(
+        lambda: Executor(db).execute(forced)
+    )
+    assert {a for (a,) in serial_result} == oracle
+    assert parallel_result == serial_result
+
+    RESULTS["sections"].setdefault("prop26_forced", {})[str(n)] = {
+        "serial_seconds": round(serial_s, 6),
+        "forced_parallel_seconds": round(parallel_s, 6),
+        "overhead_ratio": round(
+            parallel_s / serial_s if serial_s > 0 else float("inf"), 3
+        ),
+    }

@@ -7,6 +7,7 @@ Subcommands::
     repro explain  'R cartesian S' --schema 'R:2,S:1'       # physical plan
     repro explain  -d db.json --costs 'R join[2=1] S'       # + cost estimates
     repro eval     -d db.json --partition-budget 500 'R join[2=1] S'
+    repro eval     -d db.json --max-workers 4 'R join[2=1] S'
     repro trace    -d db.json 'project[1](R) cartesian S'
     repro classify -d db.json 'R cartesian S'           # db optional
     repro compile  'R join[2=1] S' --schema 'R:2,S:1'
@@ -16,8 +17,9 @@ Subcommands::
 
 ``eval``, ``explain``, ``divide``, and ``optimize`` build one
 :class:`~repro.session.Session` from the shared session flags
-(``--partition-budget``, ``--no-costs``, ``--no-reorder-joins``,
-``--no-partitions``), applied uniformly; contradictory combinations are
+(``--partition-budget``, ``--max-workers``, ``--no-costs``,
+``--no-reorder-joins``, ``--no-partitions``), applied uniformly;
+contradictory combinations are
 rejected up front.  Expressions use the textual syntax of
 :mod:`repro.algebra.parser`; the schema comes from the database file or
 from ``--schema 'R:2,S:1'``.
@@ -87,12 +89,14 @@ def _schema_for(args) -> Schema:
 def _session_options(args):
     """PlannerOptions from the shared session flags (None = defaults).
 
-    The four planner flags (``--partition-budget``, ``--no-costs``,
-    ``--no-reorder-joins``, ``--no-partitions``) are session-level:
-    every subcommand that builds a session applies them uniformly.
-    Contradictory combinations are rejected here, before any work.
+    The planner flags (``--partition-budget``, ``--max-workers``,
+    ``--no-costs``, ``--no-reorder-joins``, ``--no-partitions``) are
+    session-level: every subcommand that builds a session applies them
+    uniformly.  Contradictory combinations are rejected here, before
+    any work.
     """
     budget = getattr(args, "partition_budget", None)
+    workers = getattr(args, "max_workers", None)
     no_costs = bool(getattr(args, "no_costs", False))
     no_reorder = bool(getattr(args, "no_reorder_joins", False))
     no_partitions = bool(getattr(args, "no_partitions", False))
@@ -107,16 +111,26 @@ def _session_options(args):
             "--partition-budget needs cost-based planning (partition "
             "sizing uses the cost model's sound bounds); drop --no-costs"
         )
-    if budget is None and not (no_costs or no_reorder or no_partitions):
+    if workers is not None and workers > 1 and no_costs:
+        raise ReproError(
+            "--max-workers needs cost-based planning (the dispatch "
+            "gate uses the cost model's sound bounds); drop --no-costs"
+        )
+    if (
+        budget is None
+        and workers is None
+        and not (no_costs or no_reorder or no_partitions)
+    ):
         return None
     from repro.engine import PlannerOptions
 
-    # PlannerOptions validates the budget itself (>= 1 row).
+    # PlannerOptions validates the budget and worker count itself.
     return PlannerOptions(
         use_costs=not no_costs,
         reorder_joins=not no_reorder,
         use_partitions=not no_partitions,
         partition_budget=budget,
+        max_workers=1 if workers is None else workers,
     )
 
 
@@ -159,6 +173,8 @@ def _engine_flags_given(args) -> tuple[str, ...]:
     given = []
     if getattr(args, "partition_budget", None) is not None:
         given.append("--partition-budget")
+    if getattr(args, "max_workers", None) is not None:
+        given.append("--max-workers")
     for attr, flag, __ in _SESSION_BOOL_FLAGS:
         if getattr(args, attr, False):
             given.append(flag)
@@ -333,6 +349,14 @@ def _session_flags_parser() -> argparse.ArgumentParser:
         help="rows-in-flight cap for partitioned execution: operators "
         "whose estimated in-flight bound exceeds it run in batches "
         "(needs cost-based planning and a database's statistics)",
+    )
+    group.add_argument(
+        "--max-workers",
+        type=int,
+        metavar="N",
+        help="shard batched operators across N worker processes when "
+        "the cost model certifies the parallel cost beats serial "
+        "(needs cost-based planning; 1 = exactly serial)",
     )
     for __, flag, help_text in _SESSION_BOOL_FLAGS:
         group.add_argument(flag, action="store_true", help=help_text)

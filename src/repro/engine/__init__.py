@@ -23,7 +23,11 @@ algorithm one level down.  This package is the layer that acts on that:
 * :mod:`repro.engine.partition` — partitioned (batched) execution of
   joins, semijoins, and division under a rows-in-flight budget, sized
   from the cost model's sound upper bounds
-  (``PlannerOptions.partition_budget``).
+  (``PlannerOptions.partition_budget``);
+* :mod:`repro.engine.parallel` — shard-per-worker execution of those
+  key-disjoint batches on a process pool, dispatched only when the
+  cost model certifies that scatter + IPC is paid back
+  (``PlannerOptions.max_workers``).
 
 Typical use goes through the :class:`~repro.session.Session` front
 door (``docs/session.md``)::
@@ -53,6 +57,12 @@ from repro.engine.executor import (
     ResultCache,
     execute_plan,
 )
+from repro.engine.parallel import (
+    ParallelRun,
+    WorkerSlice,
+    apply_parallelism,
+    shutdown_worker_pools,
+)
 from repro.engine.partition import (
     BatchRecord,
     PartitionRun,
@@ -60,7 +70,7 @@ from repro.engine.partition import (
     in_flight_upper,
     planned_partitions,
 )
-from repro.engine.plan import DivisionOp, PartitionedOp, PlanNode
+from repro.engine.plan import DivisionOp, ParallelOp, PartitionedOp, PlanNode
 from repro.engine.planner import (
     DEFAULT_OPTIONS,
     Planner,
@@ -80,6 +90,8 @@ __all__ = [
     "ExecutionStats",
     "Executor",
     "IndexCache",
+    "ParallelOp",
+    "ParallelRun",
     "PartitionRun",
     "PartitionedOp",
     "PlanNode",
@@ -87,6 +99,8 @@ __all__ = [
     "PlannerOptions",
     "ResultCache",
     "StatsCatalog",
+    "WorkerSlice",
+    "apply_parallelism",
     "apply_partitioning",
     "estimate_plan",
     "execute_plan",
@@ -96,6 +110,7 @@ __all__ = [
     "plan_expression",
     "planned_partitions",
     "run",
+    "shutdown_worker_pools",
 ]
 
 def run(

@@ -43,6 +43,7 @@ from repro.engine.plan import (
     HashSemijoinOp,
     NestedLoopJoinOp,
     NestedLoopSemijoinOp,
+    ParallelOp,
     PartitionedOp,
     PlanNode,
     ProjectOp,
@@ -65,6 +66,20 @@ DEFAULT_ROWS = 1000.0
 #: enumerated fractional-edge-cover AGM bound; longer chains fall back
 #: to the (still sound) pairwise product bound.
 AGM_MAX_EDGES = 7
+
+#: Per-row surcharge for crossing the process boundary (pickling a row
+#: out to a worker or a result row back).  Deliberately several times
+#: the unit row-handling cost: IPC serialization is far heavier than an
+#: in-process row touch, and overpricing it only delays parallelism
+#: until the compute genuinely dominates.
+PARALLEL_IPC_ROW_COST = 4.0
+
+#: Fixed dispatch/bookkeeping cost per batch submitted to the pool.
+PARALLEL_BATCH_COST = 64.0
+
+#: Fixed cost of engaging the worker pool at all (queue wake-ups,
+#: result plumbing; pool *creation* is amortized across queries).
+PARALLEL_STARTUP_COST = 512.0
 
 _INF = math.inf
 
@@ -172,6 +187,8 @@ class CostModel:
             return self._division(node)
         if isinstance(node, PartitionedOp):
             return self._partitioned(node)
+        if isinstance(node, ParallelOp):
+            return self._parallel(node)
         if isinstance(node, GroupByOp):
             return self._group_by(node)
         if isinstance(node, SortOp):
@@ -445,6 +462,31 @@ class CostModel:
             inner.sound,
         )
 
+    def _parallel(self, node: ParallelOp) -> Estimate:
+        """Sharded execution: same output, repriced for the pool.
+
+        Like :meth:`_partitioned`, parallelism never changes what is
+        computed — rows, the sound upper bound, and distinct counts are
+        the inner operator's.  The cost is the certified parallel cost
+        from :func:`parallel_cost_split` when the bounds allow one;
+        when they do not (a hand-built node over unsound estimates)
+        the partitioned-style scatter surcharge is used — the planner
+        itself never emits an uncertified :class:`ParallelOp`.
+        """
+        inner = self.estimate(node.inner)
+        split = parallel_cost_split(self, node)
+        if split is None:
+            scatter = sum(
+                self.estimate(child).rows
+                for child in node.inner.children()
+            )
+            cost = inner.cost + scatter + node.partitions
+        else:
+            cost = split[1]
+        return Estimate(
+            inner.rows, inner.upper, cost, inner.distinct, inner.sound
+        )
+
     def _group_by(self, node: GroupByOp) -> Estimate:
         child = self.estimate(node.child)
         positions = node.expr.group_positions
@@ -642,3 +684,87 @@ def estimate_plan(
 ) -> dict[PlanNode, Estimate]:
     """Estimates for every node of ``plan`` (one-shot convenience)."""
     return CostModel(catalog).estimates(plan)
+
+
+# ----------------------------------------------------------------------
+# Parallel pricing
+# ----------------------------------------------------------------------
+
+
+def parallel_work_bound(model: CostModel, node: PlanNode) -> float:
+    """Sound upper bound on ``node``'s own *splittable* work.
+
+    The operator's estimated cost minus its children's — the share that
+    key-disjoint batches actually divide among workers (reading the
+    inputs is not divided; every row is scattered exactly once).
+
+    The cost formulas for the hash operators are per-row linear, which
+    understates the work of checking non-equality ``rest`` atoms: those
+    run once per key-matched *pair*.  For a sound pair bound the
+    operator is repriced as the eq-only hash join it would degenerate
+    to — that join's certified output bound (MCV sketch / AGM) *is* the
+    candidate-pair count, and the real work can only be smaller because
+    ``any()`` stops at the first witness.  Infinite whenever the
+    estimates certify nothing (zero-stats planning never parallelizes).
+    """
+    estimate = model.estimate(node)
+    if not estimate.sound:
+        return _INF
+    own = estimate.cost - sum(
+        model.estimate(child).cost for child in node.children()
+    )
+    own = max(own, 0.0)
+    if isinstance(node, (HashJoinOp, HashSemijoinOp)) and any(
+        atom.op != "=" for atom in node.cond
+    ):
+        from repro.algebra.conditions import Condition
+
+        probe = HashJoinOp(
+            node.left,
+            node.right,
+            Condition(node.cond.by_op("=")),
+            node.expr,
+        )
+        own = max(own, model.estimate(probe).upper)
+    return own
+
+
+def parallel_cost_split(
+    model: CostModel, node: ParallelOp
+) -> tuple[float, float] | None:
+    """Certified ``(serial, parallel)`` costs for ``node``, or ``None``.
+
+    ``serial`` is what running the inner operator in one process costs;
+    ``parallel`` adds the scatter pass, prices every potentially
+    shipped row (inputs out, results back — bounded by the sound upper
+    bounds) at :data:`PARALLEL_IPC_ROW_COST`, divides only the
+    operator's own work (:func:`parallel_work_bound`) by the worker
+    count, and charges the fixed per-batch and startup overheads.
+    ``None`` when any bound involved is unsound or infinite — nothing
+    can then certify that scatter + IPC is paid back, so the planner
+    keeps the serial plan (mirroring the partition gate's refusal to
+    partition uncertified plans).
+    """
+    inner = model.estimate(node.inner)
+    work = parallel_work_bound(model, node.inner)
+    if not inner.sound or not math.isfinite(work):
+        return None
+    if not math.isfinite(inner.upper):
+        return None
+    children = [
+        model.estimate(child) for child in node.inner.children()
+    ]
+    if any(not math.isfinite(c.upper) for c in children):
+        return None
+    base = sum(c.cost for c in children)
+    serial = base + work
+    shipped = sum(c.upper for c in children) + inner.upper
+    parallel = (
+        base
+        + sum(c.rows for c in children)  # the scatter/grouping pass
+        + work / max(node.workers, 1)
+        + PARALLEL_IPC_ROW_COST * shipped
+        + PARALLEL_BATCH_COST * node.partitions
+        + PARALLEL_STARTUP_COST
+    )
+    return serial, parallel

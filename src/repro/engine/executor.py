@@ -50,6 +50,7 @@ from repro.engine.plan import (
     HashSemijoinOp,
     NestedLoopJoinOp,
     NestedLoopSemijoinOp,
+    ParallelOp,
     PartitionedOp,
     PlanNode,
     ProjectOp,
@@ -145,23 +146,47 @@ class ExecutionStats:
         return "\n".join(lines)
 
 
+#: Default row budget for an :class:`IndexCache` — the same bounding
+#: discipline as :data:`DEFAULT_CACHE_BYTES`, counted in indexed rows
+#: because indexes hold references to existing row tuples rather than
+#: new storage.
+DEFAULT_INDEX_ROWS = 1_000_000
+
+
 class IndexCache:
     """Hash indexes keyed by ``(logical expr, key positions)``.
 
     The logical expression identifies the input *value* (same database,
     same logical expression ⇒ same rows), so any operator needing the
     same keys on the same input reuses the build.
+
+    Entries are LRU-evicted against ``row_budget`` (total rows across
+    all cached indexes — the :class:`ResultCache` byte-budget
+    discipline, in rows): a build or reuse marks the entry most
+    recent, and builds pushing the total past the budget evict the
+    least recently used entries — never the index just built, which
+    the caller holds and which stays fully usable either way (eviction
+    only forgets the cache's reference).  ``builds``/``reuses`` count
+    events, not live entries, so a rebuild after eviction is a second
+    build, not a reuse.
     """
 
-    def __init__(self) -> None:
-        self._indexes: dict[
-            tuple[object, tuple[int, ...]],
-            dict[tuple[Value, ...], list[Row]],
-        ] = {}
+    def __init__(self, row_budget: int = DEFAULT_INDEX_ROWS) -> None:
+        if row_budget < 0:
+            raise SchemaError(
+                f"IndexCache row_budget must be >= 0, got {row_budget}"
+            )
+        self._indexes: "OrderedDict[" \
+            "tuple[object, tuple[int, ...]]," \
+            "tuple[dict[tuple[Value, ...], list[Row]], int]]" = (
+            OrderedDict()
+        )
+        self.row_budget = row_budget
         self.builds = 0
         self.reuses = 0
-        #: Total rows held across all indexes — the cache's memory
-        #: footprint measure (used for eviction decisions).
+        self.evictions = 0
+        #: Total rows held across all cached indexes — the figure the
+        #: LRU row budget bounds (decremented on eviction).
         self.rows_indexed = 0
 
     def index_for(
@@ -173,17 +198,24 @@ class IndexCache:
         cache_key = (key, positions)
         cached = self._indexes.get(cache_key)
         if cached is not None:
+            self._indexes.move_to_end(cache_key)
             self.reuses += 1
-            return cached
+            return cached[0]
         index: dict[tuple[Value, ...], list[Row]] = defaultdict(list)
         count = 0
         for row in rows:
             index[tuple(row[p - 1] for p in positions)].append(row)
             count += 1
         built = dict(index)
-        self._indexes[cache_key] = built
+        self._indexes[cache_key] = (built, count)
         self.builds += 1
         self.rows_indexed += count
+        while (
+            self.rows_indexed > self.row_budget and len(self._indexes) > 1
+        ):
+            __, (___, evicted_rows) = self._indexes.popitem(last=False)
+            self.rows_indexed -= evicted_rows
+            self.evictions += 1
         return built
 
     def __len__(self) -> int:
@@ -231,8 +263,10 @@ class ResultCache:
     LRU-bounded memos, but sized in bytes because results, unlike
     plans, can be arbitrarily wide).  A result larger than the whole
     budget is never admitted.  ``enabled=False`` turns every lookup
-    into a miss and every store into a no-op, so callers do not need
-    two code paths.
+    into a bypass and every store into a no-op, so callers do not need
+    two code paths; bypassed lookups are counted separately
+    (``disabled_lookups``), never as misses, so hit rates describe
+    only lookups the cache actually served.
     """
 
     def __init__(
@@ -254,6 +288,10 @@ class ResultCache:
         self.misses = 0
         self.evictions = 0
         self.invalidations = 0
+        #: Lookups made while the cache was disabled — not misses (the
+        #: cache never got a chance), tracked so implicit shared
+        #: sessions (caching off by contract) keep hit rates honest.
+        self.disabled_lookups = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -261,7 +299,7 @@ class ResultCache:
     def get(self, key: tuple) -> Relation | None:
         """The cached rows for ``key``, or None (counted as hit/miss)."""
         if not self.enabled:
-            self.misses += 1
+            self.disabled_lookups += 1
             return None
         entry = self._entries.get(key)
         if entry is None:
@@ -296,9 +334,13 @@ class ResultCache:
         self.total_bytes = 0
 
     def stats_line(self) -> str:
-        state = "on" if self.enabled else "off"
+        if not self.enabled:
+            return (
+                "result cache [off]: "
+                f"{self.disabled_lookups} bypassed lookup(s)"
+            )
         return (
-            f"result cache [{state}]: {self.hits} hit(s), "
+            f"result cache [on]: {self.hits} hit(s), "
             f"{self.misses} miss(es), {len(self)} entr(y/ies), "
             f"~{self.total_bytes} byte(s), {self.evictions} eviction(s)"
         )
@@ -522,6 +564,8 @@ class Executor:
             return self._division(node)
         if isinstance(node, PartitionedOp):
             return self._partitioned(node)
+        if isinstance(node, ParallelOp):
+            return self._parallel(node)
         if isinstance(node, GroupByOp):
             return self._group_by(node)
         if isinstance(node, SortOp):
@@ -619,6 +663,18 @@ class Executor:
         from repro.engine.partition import run_partitioned
 
         return run_partitioned(self, node)
+
+    def _parallel(self, node: ParallelOp) -> Iterable[Row]:
+        """Shard-per-worker execution (see :mod:`repro.engine.parallel`).
+
+        Same memoization discipline as :meth:`_partitioned`: the inner
+        operator is never dispatched through :meth:`_rows`, its
+        children are, and the scatter's groupings share the
+        :class:`IndexCache` with the serial paths.
+        """
+        from repro.engine.parallel import run_parallel
+
+        return run_parallel(self, node)
 
     def _group_by(self, node: GroupByOp) -> Relation:
         from repro.extended.evaluator import _eval_group_by

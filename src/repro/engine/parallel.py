@@ -1,0 +1,564 @@
+"""Shard-per-worker parallel execution of key-disjoint batches.
+
+The partition layer (:mod:`repro.engine.partition`) already cuts the
+big operators into key-disjoint batches whose union is exactly the
+one-shot result.  This module is the raw-speed lever that design was
+built for: the same batches, produced by the same scatter and run by
+the same kernels, dispatched across a
+:class:`concurrent.futures.ProcessPoolExecutor` instead of a serial
+loop.
+
+Three properties the implementation is organized around:
+
+* **Parallel ≡ serial by construction.**  Workers run the module-level
+  kernels of :mod:`repro.engine.partition` on pickled fragments — the
+  identical code the serial partitioned path runs in-process.  When a
+  :class:`~repro.engine.plan.ParallelOp` carries a budget, the batches
+  are the exact ones :func:`~repro.engine.partition.packed_or_fallback`
+  would produce serially; without a budget they are sized to balance
+  *work* (not memory) across ``workers × OVERSUBSCRIPTION`` batches so
+  one hot key cannot serialize the run.
+* **Certified dispatch only.**  The planner post-pass
+  (:func:`apply_parallelism`) consults
+  :func:`~repro.engine.cost.parallel_cost_split`: a sound bound on the
+  operator's own splittable work, the scatter pass, and a per-row IPC
+  surcharge on everything that might cross the process boundary.  An
+  operator is sharded only when the certified parallel cost beats the
+  certified serial cost — zero-stats plans never parallelize,
+  mirroring the partition gate.
+* **Staleness over wrong answers.**  The database version token is
+  checked before the scatter and again as each worker's result is
+  gathered.  A mutation mid-query raises
+  :class:`~repro.errors.StaleDataError` instead of mixing two content
+  versions into one result — the same contract serial batches honour,
+  now covering the window while work is out at the pool.
+
+Worker pools are cached per worker count and shut down at interpreter
+exit.  If a pool cannot be created or breaks mid-run (a killed worker),
+execution falls back to running the same batches inline and records
+why on the :class:`ParallelRun`, so a degraded environment degrades to
+serial speed, not to failure.
+"""
+
+from __future__ import annotations
+
+import atexit
+import math
+import multiprocessing
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+
+from repro.data.database import Row
+from repro.engine.partition import (
+    BatchRecord,
+    PartitionRun,
+    _check_version,
+    division_batch_kernel,
+    in_flight_upper,
+    keyed_batch_kernel,
+    pack_groups,
+    packed_or_fallback,
+    planned_partitions,
+    semijoin_batch_kernel,
+)
+from repro.engine.plan import (
+    PARTITIONABLE_OPS,
+    DivisionOp,
+    HashJoinOp,
+    HashSemijoinOp,
+    NestedLoopSemijoinOp,
+    ParallelOp,
+    PartitionedOp,
+    PlanNode,
+)
+from repro.errors import SchemaError
+
+#: Batches per worker when no memory budget shapes them: enough slack
+#: that a skewed batch does not serialize the tail, few enough that the
+#: fixed per-batch dispatch cost stays negligible.
+OVERSUBSCRIPTION = 4
+
+
+# ----------------------------------------------------------------------
+# Run records
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WorkerSlice:
+    """One worker process's share of a run, aggregated over its batches."""
+
+    pid: int
+    batches: int
+    seconds: float  #: summed in-worker wall clock across its batches
+
+
+@dataclass
+class ParallelRun(PartitionRun):
+    """Everything one :class:`ParallelOp` execution observed.
+
+    Extends :class:`~repro.engine.partition.PartitionRun` (and is
+    stored in the same ``stats.partition_runs`` slot, so reports and
+    ``max_in_flight()`` need no second bookkeeping path) with the
+    worker count, per-batch ``(pid, seconds)`` timings aligned with
+    ``batches``, and — when the pool was bypassed — the reason.
+    ``budget`` may be ``None``: speed-motivated sharding of an operator
+    that needed no memory partitioning has no per-batch row bound.
+    """
+
+    budget: int | None = None
+    workers: int = 1
+    #: per-batch ``(worker pid, in-worker seconds)``; index-aligned
+    #: with ``batches``
+    timings: list[tuple[int, float]] = field(default_factory=list)
+    #: why batches ran inline instead of on the pool, if they did
+    pool_fallback: str | None = None
+
+    def within_budget(self) -> bool:
+        if self.budget is None:
+            return True
+        return super().within_budget()
+
+    def worker_slices(self) -> tuple[WorkerSlice, ...]:
+        """Per-worker batch counts and wall-clock, sorted by pid."""
+        counts: dict[int, int] = {}
+        seconds: dict[int, float] = {}
+        for pid, elapsed in self.timings:
+            counts[pid] = counts.get(pid, 0) + 1
+            seconds[pid] = seconds.get(pid, 0.0) + elapsed
+        return tuple(
+            WorkerSlice(pid, counts[pid], seconds[pid])
+            for pid in sorted(counts)
+        )
+
+    def render(self) -> str:
+        line = (
+            f"batches={self.actual()} (planned {self.planned}) "
+            f"peak-in-flight={self.peak_in_flight()} "
+            f"budget={'none' if self.budget is None else self.budget} "
+            f"workers={self.workers}"
+        )
+        if self.fallback:
+            line += f" [one-shot fallback: {self.fallback}]"
+        if self.pool_fallback:
+            line += f" [ran inline: {self.pool_fallback}]"
+        for worker in self.worker_slices():
+            line += (
+                f"\n    worker {worker.pid}: {worker.batches} batch(es) "
+                f"{worker.seconds:.3f}s"
+            )
+        return line
+
+
+# ----------------------------------------------------------------------
+# Worker pools
+# ----------------------------------------------------------------------
+
+_pools: dict[int, ProcessPoolExecutor] = {}
+
+
+def _pool_for(workers: int) -> ProcessPoolExecutor:
+    """The cached pool with ``workers`` workers, created on first use.
+
+    Pools are expensive to spin up, so one per worker count lives for
+    the interpreter's lifetime (they idle at zero cost).  The ``fork``
+    start method is preferred where available: workers inherit the
+    loaded modules instead of re-importing them, and the kernels only
+    ever touch the pickled arguments, never ambient state.
+    """
+    pool = _pools.get(workers)
+    if pool is None:
+        context = None
+        if "fork" in multiprocessing.get_all_start_methods():
+            context = multiprocessing.get_context("fork")
+        pool = ProcessPoolExecutor(max_workers=workers, mp_context=context)
+        _pools[workers] = pool
+    return pool
+
+
+def shutdown_worker_pools() -> None:
+    """Shut down every cached pool (registered atexit; tests may call)."""
+    while _pools:
+        __, pool = _pools.popitem()
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+atexit.register(shutdown_worker_pools)
+
+
+def _run_task(kernel, args) -> tuple[list[Row], float, int]:
+    """Worker-side batch body: run the kernel, report time and pid.
+
+    Module-level so the pool can pickle it by reference; the in-worker
+    wall clock (not the submit-to-result latency, which includes queue
+    wait) is what the per-worker report aggregates.
+    """
+    start = time.perf_counter()
+    rows = kernel(*args)
+    return rows, time.perf_counter() - start, os.getpid()
+
+
+# ----------------------------------------------------------------------
+# Scatter: plan batches as picklable tasks
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _Task:
+    """One batch, ready to run locally or ship to a worker."""
+
+    groups: int
+    input_rows: int
+    kernel: object  # a module-level kernel function
+    args: tuple  # picklable kernel arguments
+
+
+def _work_capacity(weights: dict[object, int], workers: int) -> int:
+    """Per-batch work target for budget-free (speed-only) sharding."""
+    total = sum(weights.values())
+    target = max(workers * OVERSUBSCRIPTION, 1)
+    return max(math.ceil(total / target), 1)
+
+
+def _scatter_keyed(
+    executor, node: ParallelOp, inner
+) -> tuple[list[_Task], int, str | None]:
+    """Hash join / hash semijoin: group both sides on the equality keys.
+
+    Identical grouping (through the shared
+    :class:`~repro.engine.executor.IndexCache`) and — under a budget —
+    identical packing to the serial ``_run_keyed``.  Without a budget,
+    weights switch from rows-in-flight to *work* (the pair count a key
+    group can generate) so batches even out worker load.
+    """
+    eq = inner.cond.by_op("=")
+    left_positions = tuple(a.i for a in eq)
+    right_positions = tuple(a.j for a in eq)
+    rest = tuple(a for a in inner.cond if a.op != "=")
+    join = isinstance(inner, HashJoinOp)
+
+    left_groups = executor.indexes.index_for(
+        inner.left.logical, executor._rows(inner.left), left_positions
+    )
+    right_groups = executor.indexes.index_for(
+        inner.right.logical, executor._rows(inner.right), right_positions
+    )
+    shared = left_groups.keys() & right_groups.keys()
+    if node.budget is not None:
+        weights = {}
+        for key in shared:
+            n_left = len(left_groups[key])
+            n_right = len(right_groups[key])
+            worst = n_left * n_right if join else n_left
+            weights[key] = n_left + n_right + worst
+        batches = pack_groups(weights, node.budget)
+    else:
+        weights = {}
+        for key in shared:
+            n_left = len(left_groups[key])
+            n_right = len(right_groups[key])
+            pairs = n_left * n_right if (join or rest) else 0
+            weights[key] = n_left + n_right + pairs
+        batches = pack_groups(
+            weights, _work_capacity(weights, node.workers)
+        )
+
+    tasks = []
+    for keys in batches:
+        pairs = [(left_groups[key], right_groups[key]) for key in keys]
+        input_rows = sum(len(ls) + len(rs) for ls, rs in pairs)
+        tasks.append(
+            _Task(len(keys), input_rows, keyed_batch_kernel,
+                  (pairs, rest, join))
+        )
+    return tasks, 0, None
+
+
+def _scatter_semijoin(
+    executor, node: ParallelOp, inner: NestedLoopSemijoinOp
+) -> tuple[list[_Task], int, str | None]:
+    """θ-semijoin: batch left rows; the right side ships to every batch."""
+    left_rows = executor._rows(inner.left)
+    right_rows = list(executor._rows(inner.right))
+    replicated = len(right_rows)
+    weights = {row: 2 for row in left_rows}
+    if node.budget is not None:
+        batches, fallback = packed_or_fallback(
+            weights, node.budget, replicated
+        )
+    else:
+        batches = pack_groups(
+            weights, _work_capacity(weights, node.workers)
+        )
+        fallback = None
+    tasks = [
+        _Task(len(batch), len(batch), semijoin_batch_kernel,
+              (list(batch), right_rows, inner.cond))
+        for batch in batches
+    ]
+    return tasks, replicated, fallback
+
+
+def _scatter_division(
+    executor, node: ParallelOp, inner: DivisionOp
+) -> tuple[list[_Task], int, str | None]:
+    """Division: shard the dividend by candidate; ship the divisor."""
+    divisor_rows = executor._rows(inner.divisor)
+    replicated = len(divisor_rows)
+    if not divisor_rows and inner.empty_divisor == "none":
+        # γ-plan semantics: empty divisor ⇒ empty result, no batches.
+        return [], replicated, None
+    divisor = [row[0] for row in divisor_rows]
+    groups = executor.indexes.index_for(
+        inner.dividend.logical, executor._rows(inner.dividend), (1,)
+    )
+    if node.budget is not None:
+        weights = {key: len(rows) + 1 for key, rows in groups.items()}
+        batches, fallback = packed_or_fallback(
+            weights, node.budget, replicated
+        )
+    else:
+        # Per-candidate *work* ~ its rows plus one divisor probe pass.
+        weights = {
+            key: len(rows) + max(len(divisor), 1)
+            for key, rows in groups.items()
+        }
+        batches = pack_groups(
+            weights, _work_capacity(weights, node.workers)
+        )
+        fallback = None
+    tasks = []
+    for keys in batches:
+        fragment = [row for key in keys for row in groups[key]]
+        tasks.append(
+            _Task(len(keys), len(fragment), division_batch_kernel,
+                  (fragment, divisor, inner.method, inner.eq))
+        )
+    return tasks, replicated, fallback
+
+
+# ----------------------------------------------------------------------
+# Gather: pool dispatch with staleness re-checks
+# ----------------------------------------------------------------------
+
+
+def run_parallel(executor, node: ParallelOp) -> list[Row]:
+    """Execute ``node.inner``'s batches across the worker pool.
+
+    Called by :meth:`repro.engine.executor.Executor._compute`; returns
+    the full result (key-disjoint batches union exactly) and records a
+    :class:`ParallelRun` in the executor's stats.  Single-batch and
+    ``workers=1`` runs skip the pool entirely; a missing or broken
+    pool degrades to inline execution of the same batches.
+    """
+    inner = node.inner
+    if isinstance(inner, (HashJoinOp, HashSemijoinOp)):
+        tasks, replicated, fallback = _scatter_keyed(executor, node, inner)
+    elif isinstance(inner, NestedLoopSemijoinOp):
+        tasks, replicated, fallback = _scatter_semijoin(
+            executor, node, inner
+        )
+    elif isinstance(inner, DivisionOp):
+        tasks, replicated, fallback = _scatter_division(
+            executor, node, inner
+        )
+    else:  # pragma: no cover - ParallelOp.__post_init__ rejects these
+        raise SchemaError(f"cannot parallelize {type(inner).__name__}")
+
+    run = ParallelRun(
+        planned=node.partitions,
+        budget=node.budget,
+        replicated_rows=replicated,
+        workers=node.workers,
+        fallback=fallback,
+    )
+    out: list[Row] = []
+    if node.workers <= 1 or len(tasks) <= 1:
+        reason = (
+            "single batch" if len(tasks) <= 1 else "workers=1"
+        )
+        _gather_inline(executor, node, run, tasks, out, reason)
+    else:
+        try:
+            pool = _pool_for(node.workers)
+        except OSError as error:
+            _gather_inline(
+                executor, node, run, tasks, out,
+                f"pool unavailable ({error})",
+            )
+        else:
+            try:
+                _gather_pool(executor, node, run, pool, tasks, out)
+            except BrokenProcessPool as error:
+                # Dispose of the broken pool and redo the whole run
+                # inline — partial results may be missing batches.
+                _pools.pop(node.workers, None)
+                pool.shutdown(wait=False, cancel_futures=True)
+                run.batches.clear()
+                run.timings.clear()
+                out.clear()
+                _gather_inline(
+                    executor, node, run, tasks, out,
+                    f"worker pool broke ({error})",
+                )
+    executor.stats.partition_runs[node] = run
+    return out
+
+
+def _record(run: ParallelRun, task: _Task, rows, seconds, pid) -> None:
+    run.batches.append(
+        BatchRecord(
+            groups=task.groups,
+            input_rows=task.input_rows,
+            output_rows=len(rows),
+            in_flight=task.input_rows + run.replicated_rows + len(rows),
+            fallback=run.fallback is not None,
+        )
+    )
+    run.timings.append((pid, seconds))
+
+
+def _gather_inline(
+    executor, node, run: ParallelRun, tasks, out, reason: str | None
+) -> None:
+    """Run the batches in-process (serial semantics, same kernels)."""
+    if reason is not None and node.workers > 1:
+        run.pool_fallback = reason
+    for task in tasks:
+        _check_version(executor, node)
+        rows, seconds, pid = _run_task(task.kernel, task.args)
+        out.extend(rows)
+        _record(run, task, rows, seconds, pid)
+
+
+def _gather_pool(
+    executor, node, run: ParallelRun, pool, tasks, out
+) -> None:
+    """Dispatch batches to the pool; re-check the version per gather.
+
+    Futures are gathered in submission order so the result row order —
+    and every recorded batch — is deterministic for given inputs.  The
+    version token is checked before anything is submitted and again as
+    each result is folded in: a mutation while work is out at the pool
+    raises :class:`~repro.errors.StaleDataError` before any later
+    result could mix content versions.  On staleness the remaining
+    futures are cancelled (best-effort; running ones finish and are
+    dropped with the pool's blessing — workers never see the database,
+    only pickled fragments).
+    """
+    _check_version(executor, node)
+    futures = [
+        pool.submit(_run_task, task.kernel, task.args) for task in tasks
+    ]
+    try:
+        for task, future in zip(tasks, futures):
+            rows, seconds, pid = future.result()
+            _check_version(executor, node)
+            out.extend(rows)
+            _record(run, task, rows, seconds, pid)
+    except BaseException:
+        for future in futures:
+            future.cancel()
+        raise
+
+
+# ----------------------------------------------------------------------
+# Planning: the certified-dispatch post-pass
+# ----------------------------------------------------------------------
+
+
+def apply_parallelism(
+    plan: PlanNode, cost_model, workers: int
+) -> PlanNode:
+    """Post-pass: shard operators whose bounds certify a parallel win.
+
+    Runs after :func:`~repro.engine.partition.apply_partitioning` (and,
+    like it, after every operator-choice cost comparison, so the
+    parallel repricing can never flip one).  Two shapes are sharded:
+
+    * a :class:`~repro.engine.plan.PartitionedOp` becomes a
+      :class:`~repro.engine.plan.ParallelOp` carrying the same budget —
+      the batches the budget forces anyway are simply dispatched to
+      workers;
+    * a bare partitionable operator gets a budget-free ``ParallelOp``
+      with work-balanced batches.
+
+    Either way the conversion happens only when
+    :func:`~repro.engine.cost.parallel_cost_split` certifies that the
+    parallel cost (scatter + IPC + divided work + fixed overheads)
+    beats the serial cost from the same sound bounds.  Unsound or
+    infinite bounds — zero-stats planning — certify nothing and leave
+    the plan untouched.
+    """
+    from dataclasses import fields, replace
+
+    from repro.engine.cost import parallel_cost_split
+
+    if workers <= 1:
+        return plan
+
+    def gate(candidate: ParallelOp, original: PlanNode) -> PlanNode:
+        split = parallel_cost_split(cost_model, candidate)
+        if split is None:
+            return original
+        serial, parallel = split
+        if parallel >= serial:
+            return original
+        note = (
+            f"parallel bound {parallel:.0f} beats serial "
+            f"{serial:.0f} on {candidate.workers} worker(s)"
+        )
+        if candidate.note:
+            note = f"{candidate.note}; {note}"
+        return replace(candidate, note=note)
+
+    memo: dict[int, PlanNode] = {}
+
+    def rebuild(node: PlanNode) -> PlanNode:
+        cached = memo.get(id(node))
+        if cached is not None:
+            return cached
+        if isinstance(node, ParallelOp):
+            # Already sharded (re-applying to a planned plan).
+            memo[id(node)] = node
+            return node
+        if isinstance(node, PartitionedOp):
+            inner = rebuild_children(node.inner)
+            candidate = ParallelOp(
+                inner, node.partitions, node.budget, workers,
+                note=node.note,
+            )
+            original: PlanNode = node
+            if inner is not node.inner:
+                original = PartitionedOp(
+                    inner, node.partitions, node.budget, node.note
+                )
+            result = gate(candidate, original)
+            memo[id(node)] = result
+            return result
+        rebuilt = rebuild_children(node)
+        if isinstance(rebuilt, PARTITIONABLE_OPS):
+            upper = in_flight_upper(cost_model, rebuilt)
+            partitions = min(
+                planned_partitions(upper, 1),
+                max(workers * OVERSUBSCRIPTION, 1),
+            )
+            candidate = ParallelOp(rebuilt, partitions, None, workers)
+            rebuilt = gate(candidate, rebuilt)
+        memo[id(node)] = rebuilt
+        return rebuilt
+
+    def rebuild_children(node: PlanNode) -> PlanNode:
+        changes = {}
+        for f in fields(node):
+            value = getattr(node, f.name)
+            if isinstance(value, PlanNode):
+                new = rebuild(value)
+                if new is not value:
+                    changes[f.name] = new
+        return replace(node, **changes) if changes else node
+
+    return rebuild(plan)

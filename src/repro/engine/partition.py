@@ -58,9 +58,22 @@ operator                    strategy
 ==========================  ===========================================
 
 Replicated sides count toward every batch's rows in flight, which is
-why they are subtracted from the packing capacity.  Nested-loop *joins*
+why they are subtracted from the packing capacity.  When the replicated
+side alone meets the budget that capacity vanishes (≤ 0) and per-group
+batches would rescan the replicated side once per row/candidate — a
+quadratic cliff for zero memory gain, since every batch already holds
+at least the replicated rows.  :func:`packed_or_fallback` detects this
+and falls back to one-shot execution (a single batch), recording the
+reason on the :class:`PartitionRun` and marking the batch so the
+``within()`` invariant knows it was deliberate.  Nested-loop *joins*
 are not partitionable: without equality keys a batch's output is not
 bounded by its own fragment, so no per-batch budget could be certified.
+
+The per-batch bodies are module-level **kernels**
+(:func:`keyed_batch_kernel`, :func:`semijoin_batch_kernel`,
+:func:`division_batch_kernel`) operating on plain picklable data, so
+:mod:`repro.engine.parallel` can ship the very same code to pool
+workers — parallel and serial batches agree by construction.
 
 Between batches the executor's database version token is re-checked;
 a mutation mid-run raises :class:`~repro.errors.StaleDataError` rather
@@ -159,13 +172,25 @@ def apply_partitioning(plan: PlanNode, cost_model, budget: int) -> PlanNode:
             upper = in_flight_upper(cost_model, rebuilt)
             if math.isfinite(upper) and upper > budget:
                 partitions = planned_partitions(upper, budget)
-                rebuilt = PartitionedOp(
-                    rebuilt,
-                    partitions,
-                    budget,
-                    note=f"in-flight ub {upper:.0f} > budget {budget}: "
+                note = (
+                    f"in-flight ub {upper:.0f} > budget {budget}: "
                     f"{partitions} batch(es) planned (exact packing at "
-                    "run time)",
+                    "run time)"
+                )
+                replicated = None
+                if isinstance(rebuilt, NestedLoopSemijoinOp):
+                    replicated = rebuilt.right
+                elif isinstance(rebuilt, DivisionOp):
+                    replicated = rebuilt.divisor
+                if replicated is not None:
+                    rep = cost_model.estimate(replicated)
+                    if rep.sound and rep.upper >= budget:
+                        note += (
+                            "; replicated side may meet the budget "
+                            "alone — one-shot fallback possible"
+                        )
+                rebuilt = PartitionedOp(
+                    rebuilt, partitions, budget, note=note
                 )
         memo[id(node)] = rebuilt
         return rebuilt
@@ -186,9 +211,17 @@ class BatchRecord:
     input_rows: int  #: fragment rows scattered into the batch
     output_rows: int  #: rows the batch emitted
     in_flight: int  #: input_rows + replicated rows + output_rows
+    fallback: bool = False  #: deliberate one-shot batch (capacity ≤ 0)
 
     def within(self, budget: int) -> bool:
-        """The packing invariant: under budget, or a lone atomic group."""
+        """The packing invariant: under budget, or a lone atomic group.
+
+        A ``fallback`` batch is the deliberate one-shot degradation of
+        :func:`packed_or_fallback` — the replicated side alone met the
+        budget, so no packing could have helped — and counts as within.
+        """
+        if self.fallback:
+            return True
         return self.in_flight <= budget or self.groups <= 1
 
 
@@ -205,6 +238,8 @@ class PartitionRun:
     budget: int
     replicated_rows: int = 0
     batches: list[BatchRecord] = field(default_factory=list)
+    #: why packing was abandoned for one-shot execution, if it was
+    fallback: str | None = None
 
     def actual(self) -> int:
         return len(self.batches)
@@ -219,11 +254,14 @@ class PartitionRun:
         return all(b.within(self.budget) for b in self.batches)
 
     def render(self) -> str:
-        return (
+        line = (
             f"batches={self.actual()} (planned {self.planned}) "
             f"peak-in-flight={self.peak_in_flight()} "
             f"budget={self.budget}"
         )
+        if self.fallback:
+            line += f" [one-shot fallback: {self.fallback}]"
+        return line
 
 
 # ----------------------------------------------------------------------
@@ -267,6 +305,93 @@ def pack_groups(
     # Heaviest-first ordering puts every oversized singleton before
     # every packed batch, keeping the returned order deterministic.
     return singletons + [tuple(batch) for batch in batches]
+
+
+def packed_or_fallback(
+    weights: dict[object, int], budget: int, replicated: int
+) -> tuple[list[tuple[object, ...]], str | None]:
+    """Pack under ``budget − replicated``, or one-shot when it vanishes.
+
+    Operators with a replicated side pack against the capacity left
+    after that side is charged to every batch.  When the replicated
+    side alone meets the budget, that capacity is ≤ 0 and
+    :func:`pack_groups` would make every group a singleton batch — the
+    replicated side rescanned once per group for *zero* memory gain
+    (each batch already exceeds the budget by the replicated rows
+    alone).  In that case the only sane shape is a single batch.
+
+    Returns ``(batches, reason)``: ``reason`` is ``None`` when normal
+    packing applied, else a human-readable explanation recorded on the
+    :class:`PartitionRun` (and rendered by ``--stats`` reports).
+    """
+    if not weights:
+        return [], None
+    capacity = budget - replicated
+    if capacity <= 0:
+        reason = (
+            f"replicated side ({replicated} rows) meets the "
+            f"{budget}-row budget alone; ran one-shot instead of "
+            f"{len(weights)} singleton batches"
+        )
+        return [tuple(sorted(weights, key=repr))], reason
+    return pack_groups(weights, capacity), None
+
+
+# ----------------------------------------------------------------------
+# Batch kernels (pure, picklable — shared by serial and parallel paths)
+# ----------------------------------------------------------------------
+
+
+def keyed_batch_kernel(
+    pairs: list[tuple[list[Row], list[Row]]],
+    rest: tuple,
+    join: bool,
+) -> list[Row]:
+    """One hash-join / hash-semijoin batch over key-matched fragments.
+
+    ``pairs`` holds the (left fragment, right fragment) for each key
+    group packed into the batch; ``rest`` the non-equality atoms still
+    to check.  Joins emit concatenated rows, semijoins the left row on
+    first witness.  Module-level and argument-pure so a process-pool
+    worker can run it on pickled fragments.
+    """
+    out: list[Row] = []
+    for lefts, rights in pairs:
+        for lrow in lefts:
+            if join:
+                for rrow in rights:
+                    if all(atom.holds(lrow, rrow) for atom in rest):
+                        out.append(lrow + rrow)
+            elif any(
+                all(atom.holds(lrow, rrow) for atom in rest)
+                for rrow in rights
+            ):
+                out.append(lrow)
+    return out
+
+
+def semijoin_batch_kernel(
+    left_rows, right_rows, cond
+) -> list[Row]:
+    """One θ-semijoin batch: left fragment against the replicated right."""
+    return [
+        lrow
+        for lrow in left_rows
+        if any(cond.holds(lrow, rrow) for rrow in right_rows)
+    ]
+
+
+def division_batch_kernel(
+    fragment: list[Row], divisor: list, method: str, eq: bool
+) -> list[Row]:
+    """One division batch: the direct algorithm on a candidate fragment.
+
+    The algorithm is looked up in the registries at call time (not
+    bound at scatter time), so tests that monkeypatch an algorithm see
+    the patched version in every batch.
+    """
+    registry = DIVISION_EQ_ALGORITHMS if eq else DIVISION_ALGORITHMS
+    return [(a,) for a in registry[method](fragment, divisor)]
 
 
 # ----------------------------------------------------------------------
@@ -343,30 +468,16 @@ def _run_keyed(executor, node: PartitionedOp, inner) -> tuple[list, PartitionRun
     out: list[Row] = []
     for keys in pack_groups(weights, node.budget):
         _check_version(executor, node)
-        produced = 0
-        input_rows = 0
-        for key in keys:
-            lefts = left_groups[key]
-            rights = right_groups[key]
-            input_rows += len(lefts) + len(rights)
-            for lrow in lefts:
-                if join:
-                    for rrow in rights:
-                        if all(atom.holds(lrow, rrow) for atom in rest):
-                            out.append(lrow + rrow)
-                            produced += 1
-                elif any(
-                    all(atom.holds(lrow, rrow) for atom in rest)
-                    for rrow in rights
-                ):
-                    out.append(lrow)
-                    produced += 1
+        pairs = [(left_groups[key], right_groups[key]) for key in keys]
+        input_rows = sum(len(ls) + len(rs) for ls, rs in pairs)
+        rows = keyed_batch_kernel(pairs, rest, join)
+        out.extend(rows)
         run.batches.append(
             BatchRecord(
                 groups=len(keys),
                 input_rows=input_rows,
-                output_rows=produced,
-                in_flight=input_rows + produced,
+                output_rows=len(rows),
+                in_flight=input_rows + len(rows),
             )
         )
     return out, run
@@ -379,6 +490,9 @@ def _run_left_batched(
 
     Each left row is its own atomic group (no key to group by) of
     weight 2 — the row plus the at-most-one output row it can emit.
+    When the replicated right side alone meets the budget the batches
+    collapse to one (:func:`packed_or_fallback`) — per-row batches
+    would rescan the right side once per left row for no memory gain.
     """
     left_rows = executor._rows(inner.left)
     right_rows = executor._rows(inner.right)
@@ -386,20 +500,21 @@ def _run_left_batched(
     weights = {row: 2 for row in left_rows}
 
     run = PartitionRun(node.partitions, node.budget, replicated)
+    batches, run.fallback = packed_or_fallback(
+        weights, node.budget, replicated
+    )
     out: list[Row] = []
-    for batch in pack_groups(weights, node.budget - replicated):
+    for batch in batches:
         _check_version(executor, node)
-        produced = 0
-        for lrow in batch:
-            if any(inner.cond.holds(lrow, rrow) for rrow in right_rows):
-                out.append(lrow)
-                produced += 1
+        rows = semijoin_batch_kernel(batch, right_rows, inner.cond)
+        out.extend(rows)
         run.batches.append(
             BatchRecord(
                 groups=len(batch),
                 input_rows=len(batch),
-                output_rows=produced,
-                in_flight=len(batch) + replicated + produced,
+                output_rows=len(rows),
+                in_flight=len(batch) + replicated + len(rows),
+                fallback=run.fallback is not None,
             )
         )
     return out, run
@@ -432,21 +547,24 @@ def _run_division(
     )
     weights = {key: len(rows) + 1 for key, rows in groups.items()}
 
+    batches, run.fallback = packed_or_fallback(
+        weights, node.budget, len(divisor_rows)
+    )
     out: list[Row] = []
-    for keys in pack_groups(weights, node.budget - len(divisor_rows)):
+    for keys in batches:
         _check_version(executor, node)
         fragment = [row for key in keys for row in groups[key]]
-        registry = (
-            DIVISION_EQ_ALGORITHMS if inner.eq else DIVISION_ALGORITHMS
+        rows = division_batch_kernel(
+            fragment, divisor, inner.method, inner.eq
         )
-        quotient = registry[inner.method](fragment, divisor)
-        out.extend((a,) for a in quotient)
+        out.extend(rows)
         run.batches.append(
             BatchRecord(
                 groups=len(keys),
                 input_rows=len(fragment),
-                output_rows=len(quotient),
-                in_flight=len(fragment) + len(divisor_rows) + len(quotient),
+                output_rows=len(rows),
+                in_flight=len(fragment) + len(divisor_rows) + len(rows),
+                fallback=run.fallback is not None,
             )
         )
     return out, run

@@ -521,6 +521,58 @@ class PartitionedOp(PlanNode):
 
 
 @dataclass(frozen=True)
+class ParallelOp(PlanNode):
+    """Shard-per-worker execution of one partitionable operator.
+
+    The same key-disjoint batches a :class:`PartitionedOp` would run
+    one after another are instead dispatched across a process pool of
+    ``workers`` workers.  ``budget`` is the per-batch in-flight bound
+    when the operator was partitioned for memory (``None`` when the
+    planner parallelized an unpartitioned operator purely for speed,
+    in which case batches are sized to balance work across workers).
+    ``partitions`` is the planner's batch-count estimate; as with
+    :class:`PartitionedOp` the executor re-packs from exact per-key
+    weights, so the actual count can differ.
+    """
+
+    inner: PlanNode
+    partitions: int
+    budget: int | None
+    workers: int
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.inner, PARTITIONABLE_OPS):
+            raise SchemaError(
+                f"ParallelOp cannot wrap {type(self.inner).__name__}; "
+                "partitionable operators are "
+                f"{tuple(t.__name__ for t in PARTITIONABLE_OPS)}"
+            )
+        if self.partitions < 1:
+            raise SchemaError("ParallelOp needs partitions >= 1")
+        if self.budget is not None and self.budget < 1:
+            raise SchemaError(
+                "ParallelOp needs a budget >= 1 row (or None)"
+            )
+        if self.workers < 1:
+            raise SchemaError("ParallelOp needs workers >= 1")
+
+    @property
+    def logical(self) -> Expr:
+        return self.inner.logical
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.inner,)
+
+    def label(self) -> str:
+        budget = "none" if self.budget is None else str(self.budget)
+        return (
+            f"Parallel[k={self.partitions},budget={budget},"
+            f"workers={self.workers}]"
+        )
+
+
+@dataclass(frozen=True)
 class GroupByOp(PlanNode):
     """γ with grouping positions and aggregates (extended algebra)."""
 
@@ -609,6 +661,7 @@ for _op in (
     NestedLoopSemijoinOp,
     DivisionOp,
     PartitionedOp,
+    ParallelOp,
     GroupByOp,
     SortOp,
 ):

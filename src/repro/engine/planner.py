@@ -121,6 +121,14 @@ class PlannerOptions:
     is wrapped in a :class:`~repro.engine.plan.PartitionedOp` and runs
     in budget-bounded batches.  ``None`` (the default) disables
     partitioning entirely.
+
+    ``max_workers`` enables shard-per-worker parallel execution: when
+    > 1 (and statistics are present — the dispatch gate needs *sound*
+    bounds), partitionable operators whose certified parallel cost
+    beats their serial cost are wrapped in a
+    :class:`~repro.engine.plan.ParallelOp` and their batches run on a
+    process pool of that many workers.  The default ``1`` keeps
+    planning and execution exactly serial.
     """
 
     division_method: str = "hash"
@@ -131,6 +139,7 @@ class PlannerOptions:
     reorder_joins: bool = True
     use_partitions: bool = True
     partition_budget: int | None = None
+    max_workers: int = 1
 
     def __post_init__(self) -> None:
         # Fail fast: apply_partitioning only runs on plans that contain
@@ -140,6 +149,10 @@ class PlannerOptions:
             raise SchemaError(
                 "partition_budget must be >= 1 row (or None to disable "
                 f"partitioning), got {self.partition_budget}"
+            )
+        if self.max_workers < 1:
+            raise SchemaError(
+                f"max_workers must be >= 1, got {self.max_workers}"
             )
 
 
@@ -392,6 +405,24 @@ class Planner:
 
         return apply_partitioning(plan, self.cost_model, budget)
 
+    def _apply_parallelism(self, plan: PlanNode) -> PlanNode:
+        """Shard certified-profitable operators once the plan is chosen.
+
+        Like partitioning, a post-pass so the parallel repricing never
+        flips an operator choice.  The dispatch gate
+        (:func:`repro.engine.cost.parallel_cost_split`) needs sound
+        bounds, so without statistics — or with the default
+        ``max_workers=1`` — plans are returned untouched and serial
+        planning stays byte-identical.
+        """
+        if self.options.max_workers <= 1 or not self._costed():
+            return plan
+        from repro.engine.parallel import apply_parallelism
+
+        return apply_parallelism(
+            plan, self.cost_model, self.options.max_workers
+        )
+
     def plan(self, expr: Expr) -> PlanNode:
         """Plan a logical expression (RA/SA, optionally with γ/Sort)."""
         if (
@@ -402,7 +433,9 @@ class Planner:
             from repro.algebra.optimize import push_selections
 
             expr = push_selections(expr)
-        return self._apply_partition_budget(self._plan(expr))
+        return self._apply_parallelism(
+            self._apply_partition_budget(self._plan(expr))
+        )
 
     # -- recursive translation -----------------------------------------
 

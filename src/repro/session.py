@@ -108,20 +108,39 @@ class ExecutionReport:
     cache_misses: int
     cache_entries: int
     cache_bytes: int
+    #: Whether the session's result cache served lookups at all;
+    #: disabled caches report bypassed lookups, not misses.
+    cache_enabled: bool = True
+    cache_disabled_lookups: int = 0
 
     def operators_executed(self) -> int:
         """How many physical operators ran (0 for a cache hit)."""
         return len(self.stats.node_rows)
 
     def render(self) -> str:
-        """Human-readable report: cache outcome + the stats report."""
+        """Human-readable report: cache outcome + the stats report.
+
+        Parallel operators show up through the stats report: each
+        :class:`~repro.engine.parallel.ParallelRun` renders its batch
+        counts plus per-worker batch assignments and in-worker
+        wall-clock seconds.
+        """
         source = "result cache (hit)" if self.cached else "executed"
+        if self.cache_enabled:
+            cache_line = (
+                f"result cache     : {self.cache_hits} hit(s), "
+                f"{self.cache_misses} miss(es), {self.cache_entries} "
+                f"entr(y/ies), ~{self.cache_bytes} byte(s)"
+            )
+        else:
+            cache_line = (
+                "result cache     : off "
+                f"({self.cache_disabled_lookups} bypassed lookup(s))"
+            )
         lines = [
             f"rows             : {self.rows}",
             f"source           : {source}",
-            f"result cache     : {self.cache_hits} hit(s), "
-            f"{self.cache_misses} miss(es), {self.cache_entries} "
-            f"entr(y/ies), ~{self.cache_bytes} byte(s)",
+            cache_line,
             self.stats.report(),
         ]
         return "\n".join(lines)
@@ -420,6 +439,8 @@ class Session:
             cache_misses=cache.misses,
             cache_entries=len(cache),
             cache_bytes=cache.total_bytes,
+            cache_enabled=cache.enabled,
+            cache_disabled_lookups=cache.disabled_lookups,
         )
         prepared.last_report = report
         self.last_report = report

@@ -1,0 +1,124 @@
+"""Executor-owned caches: the LRU index budget and honest counters.
+
+Regression tests for two PR-6 bugfixes:
+
+* :class:`~repro.engine.executor.IndexCache` claimed LRU eviction in
+  its docstring but grew without bound — it now enforces a
+  ``row_budget`` (total rows across cached indexes), evicting least
+  recently used entries while never touching the index just built;
+* :class:`~repro.engine.executor.ResultCache` counted lookups made
+  while disabled as *misses*, poisoning hit-rate arithmetic — they are
+  now tracked separately as ``disabled_lookups`` and rendered as an
+  explicit off-state line in reports.
+"""
+
+import pytest
+
+from repro.data.database import database
+from repro.engine import IndexCache, ResultCache
+from repro.errors import SchemaError
+from repro.session import Session
+
+
+def build(cache, name, rows):
+    """Index ``rows`` (pairs) by first position under logical key ``name``."""
+    return cache.index_for(name, rows, (1,))
+
+
+PAIRS = [[(i, j) for i in range(5)] for j in range(4)]  # four 5-row inputs
+
+
+class TestIndexCacheLRU:
+    def test_negative_budget_rejected(self):
+        with pytest.raises(SchemaError):
+            IndexCache(row_budget=-1)
+
+    def test_unbounded_growth_is_gone(self):
+        cache = IndexCache(row_budget=10)
+        for name, rows in zip("abc", PAIRS):
+            build(cache, name, rows)
+        # Three 5-row builds against a 10-row budget: the oldest entry
+        # must have been evicted.  Before the fix len(cache) == 3 and
+        # rows_indexed grew without bound.
+        assert cache.rows_indexed <= 10
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        assert cache.builds == 3
+
+    def test_reuse_refreshes_recency(self):
+        cache = IndexCache(row_budget=10)
+        build(cache, "a", PAIRS[0])
+        build(cache, "b", PAIRS[1])
+        build(cache, "a", PAIRS[0])  # touch a: now b is least recent
+        assert cache.reuses == 1
+        build(cache, "c", PAIRS[2])  # forces one eviction: b, not a
+        assert cache.evictions == 1
+        build(cache, "a", PAIRS[0])
+        assert cache.reuses == 2  # a survived
+        build(cache, "b", PAIRS[1])
+        assert cache.builds == 4  # b did not: rebuild, not reuse
+
+    def test_just_built_index_never_evicted(self):
+        # A single build larger than the whole budget must still be
+        # returned usable and stay cached (evicting it would thrash).
+        cache = IndexCache(row_budget=3)
+        index = build(cache, "big", PAIRS[0])
+        assert index[(2,)] == [(2, 0)]
+        assert len(cache) == 1
+        assert cache.evictions == 0
+        assert build(cache, "big", PAIRS[0]) is index
+        assert cache.reuses == 1
+
+    def test_evicted_index_stays_usable_by_its_holder(self):
+        cache = IndexCache(row_budget=5)
+        held = build(cache, "a", PAIRS[0])
+        build(cache, "b", PAIRS[1])  # evicts a from the cache
+        assert cache.evictions == 1
+        assert held[(3,)] == [(3, 0)]  # the caller's reference is intact
+
+    def test_rows_indexed_tracks_evictions(self):
+        cache = IndexCache(row_budget=10)
+        for name, rows in zip("abcd", PAIRS):
+            build(cache, name, rows)
+        assert cache.rows_indexed == sum(
+            count for (_, count) in cache._indexes.values()
+        )
+        assert cache.rows_indexed <= 10
+
+
+class TestResultCacheDisabledCounters:
+    def test_disabled_lookups_are_not_misses(self):
+        cache = ResultCache(enabled=False)
+        for _ in range(3):
+            assert cache.get(("k",)) is None
+        # Before the fix these counted misses == 3, hit rate 0/3.
+        assert cache.misses == 0
+        assert cache.hits == 0
+        assert cache.disabled_lookups == 3
+
+    def test_enabled_lookups_still_count_misses(self):
+        cache = ResultCache(enabled=True)
+        assert cache.get(("k",)) is None
+        assert cache.misses == 1
+        assert cache.disabled_lookups == 0
+
+    def test_stats_line_off_state(self):
+        cache = ResultCache(enabled=False)
+        cache.get(("k",))
+        cache.get(("k",))
+        line = cache.stats_line()
+        assert "[off]" in line
+        assert "2 bypassed" in line
+        assert "hit" not in line  # no fictitious hit-rate while off
+
+    def test_session_report_renders_off_state(self):
+        db = database({"R": 2}, R=[(1, 2), (3, 4)])
+        session = Session(db, cache_results=False)
+        session.run("R")
+        session.run("R")
+        text = session.last_report.render()
+        assert "off" in text
+        assert "bypassed" in text
+        # And the counters behind it stayed honest:
+        assert session.result_cache.misses == 0
+        assert session.result_cache.disabled_lookups >= 2

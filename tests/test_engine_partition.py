@@ -552,3 +552,101 @@ def test_partitioned_and_unpartitioned_plans_agree(expr, db):
     )
     one_shot = loose.execute(loose.plan(expr))
     assert partitioned == one_shot
+
+
+# ----------------------------------------------------------------------
+# One-shot fallback: replicated side meets the budget alone
+# ----------------------------------------------------------------------
+
+
+class TestOneShotFallback:
+    """Capacity ``budget − replicated ≤ 0`` collapses to one batch.
+
+    Before the fix, :func:`~repro.engine.partition.pack_groups` was
+    handed the non-positive capacity directly and degenerated to one
+    singleton batch *per key group* — the replicated side rescanned
+    once per group for zero memory gain, since every batch already
+    exceeded the budget by the replicated rows alone.
+    """
+
+    def test_packed_or_fallback_collapses_to_one_batch(self):
+        weights = {k: 1 for k in range(12)}
+        batches, reason = partition_module.packed_or_fallback(
+            weights, budget=10, replicated=10
+        )
+        assert len(batches) == 1  # was 12 singleton batches before
+        assert set(batches[0]) == set(weights)
+        assert "one-shot" in reason
+
+    def test_packed_or_fallback_normal_when_capacity_remains(self):
+        weights = {k: 1 for k in range(12)}
+        batches, reason = partition_module.packed_or_fallback(
+            weights, budget=10, replicated=4
+        )
+        assert reason is None
+        assert batches == pack_groups(weights, 6)
+        assert len(batches) > 1
+
+    def test_packed_or_fallback_empty_weights(self):
+        assert partition_module.packed_or_fallback({}, 5, 99) == ([], None)
+
+    def test_division_with_oversized_divisor_runs_one_shot(self):
+        db = division_database(
+            num_keys=40, divisor_size=25, extra_per_key=2, seed=1
+        )
+        budget = 20  # < |S| = 25: the replicated divisor alone blows it
+        executor = Executor(db)
+        plan = executor.plan(
+            classic_division_expr(), PlannerOptions(partition_budget=budget)
+        )
+        assert partitioned_nodes(plan)
+        result = executor.execute(plan)
+        assert {a for (a,) in result} == divide_reference(db["R"], db["S"])
+        (prun,) = executor.stats.partition_runs.values()
+        assert prun.actual() == 1
+        assert prun.fallback is not None
+        assert "one-shot" in prun.fallback
+        assert all(batch.fallback for batch in prun.batches)
+        assert all(batch.within(budget) for batch in prun.batches)
+        assert "one-shot fallback" in prun.render()
+
+    def test_nested_loop_semijoin_runs_one_shot(self):
+        db = join_db(rows=50, keys=30)
+        budget = 25  # < |S| = 30 replicated probe rows
+        executor = Executor(db)
+        plan = executor.plan(
+            parse("R semijoin[2>1] S", SCHEMA),
+            PlannerOptions(partition_budget=budget),
+        )
+        assert partitioned_nodes(plan)
+        expr = parse("R semijoin[2>1] S", SCHEMA)
+        assert executor.execute(plan) == evaluate_reference(expr, db)
+        (prun,) = executor.stats.partition_runs.values()
+        assert prun.actual() == 1
+        assert prun.fallback is not None
+        assert all(batch.fallback for batch in prun.batches)
+
+    def test_plan_note_flags_the_possible_fallback(self):
+        db = division_database(
+            num_keys=40, divisor_size=25, extra_per_key=2, seed=1
+        )
+        executor = Executor(db)
+        plan = executor.plan(
+            classic_division_expr(), PlannerOptions(partition_budget=20)
+        )
+        (wrapped,) = partitioned_nodes(plan)
+        assert "one-shot fallback possible" in wrapped.note
+
+    def test_comfortable_budget_has_no_fallback(self):
+        db = division_database(
+            num_keys=40, divisor_size=5, extra_per_key=3, seed=3
+        )
+        executor = Executor(db)
+        plan = executor.plan(
+            classic_division_expr(), PlannerOptions(partition_budget=60)
+        )
+        executor.execute(plan)
+        (prun,) = executor.stats.partition_runs.values()
+        assert prun.fallback is None
+        assert prun.actual() > 1
+        assert not any(batch.fallback for batch in prun.batches)
