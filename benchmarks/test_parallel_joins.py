@@ -18,10 +18,18 @@ at the repo root) for cross-version tracking:
 * every measured configuration is checked against the brute-force
   oracle (``use_engine=False`` evaluation or ``divide_reference``).
 
-Worker count comes from ``REPRO_BENCH_WORKERS`` (default 4).  The
-speedup assertion is guarded by ``os.cpu_count() >= 4`` so the suite
-stays honest on small CI boxes while still failing a real regression
-on multi-core runners.
+Worker count comes from ``REPRO_BENCH_WORKERS`` (default 4) and the
+storage backend for the headline speedup from ``REPRO_BENCH_BACKEND``
+(default ``shm`` — the zero-copy attach transport is the configuration
+the ≥ 2× claim is made for; a ``fig1_speedup_memory`` section tracks
+the pickled-transport trajectory alongside).  The speedup assertion is
+guarded by ``available_cpus() >= 4`` — the CPUs this *process* may
+use, not the machine total — so the suite stays honest on small or
+affinity-restricted CI boxes while still failing a real regression on
+multi-core runners.  Every emitted ``BENCH_parallel.json`` also
+carries the measured IPC calibration (``tools/calibrate_ipc.py``)
+next to the cost-model constants in use, so a trajectory point can be
+audited against the machine it was taken on.
 """
 
 import json
@@ -42,6 +50,7 @@ from repro.engine import (
     ParallelRun,
     PartitionedOp,
     PlannerOptions,
+    available_cpus,
 )
 from repro.engine.plan import PARTITIONABLE_OPS
 from repro.setjoins.division import classic_division_expr, divide_reference
@@ -50,12 +59,17 @@ from repro.workloads.generators import crossproduct_division_family
 REPO_ROOT = Path(__file__).resolve().parents[1]
 RESULTS_PATH = REPO_ROOT / "BENCH_parallel.json"
 WORKERS = max(2, int(os.environ.get("REPRO_BENCH_WORKERS", "4")))
+BACKEND = os.environ.get("REPRO_BENCH_BACKEND", "shm")
 TIMING_REPEATS = 3
 
 RESULTS: dict = {
     "benchmark": "parallel-set-joins",
     "workers": WORKERS,
-    "cpu_count": os.cpu_count(),
+    "backend": BACKEND,
+    #: CPUs this process may actually use (affinity-aware); the
+    #: speedup assertion keys off this, not the machine total.
+    "cpu_count": available_cpus(),
+    "os_cpu_count": os.cpu_count(),
     "sections": {},
 }
 
@@ -168,47 +182,111 @@ def test_fig1_gate_certifies_the_quadratic_regime(shootout_db):
     }
 
 
-def test_fig1_parallel_vs_serial_wall_clock(shootout_db, shootout_oracle):
-    """The headline number: 1 vs N workers on the certified workload."""
+def _fig1_speedup(shootout_db, shootout_oracle, backend):
+    """1 vs N workers on the certified workload, on one backend."""
     expr = parse(HOT_QUERY, shootout_db.schema)
 
     def run_with(workers):
-        executor = Executor(shootout_db)
-        plan = executor.plan(expr, PlannerOptions(max_workers=workers))
-        return executor.execute(plan), executor
+        executor = Executor(shootout_db, backend=backend)
+        try:
+            plan = executor.plan(
+                expr, PlannerOptions(max_workers=workers)
+            )
+            result = executor.execute(plan)
+            runs = [
+                r
+                for r in executor.stats.partition_runs.values()
+                if isinstance(r, ParallelRun)
+            ]
+        finally:
+            executor.close()
+        return result, runs
 
     # Warm the statistics catalog and worker pool outside the timings.
-    warm_result, warm_executor = run_with(WORKERS)
+    warm_result, __ = run_with(WORKERS)
     assert warm_result == shootout_oracle
 
     serial_s, (serial_result, _) = best_of(lambda: run_with(1))
-    parallel_s, (parallel_result, executor) = best_of(
+    parallel_s, (parallel_result, runs) = best_of(
         lambda: run_with(WORKERS)
     )
     assert serial_result == parallel_result == shootout_oracle
 
-    (run,) = [
-        r
-        for r in executor.stats.partition_runs.values()
-        if isinstance(r, ParallelRun)
-    ]
+    (run,) = runs
     speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
-    cpus = os.cpu_count() or 1
-    RESULTS["sections"]["fig1_speedup"] = {
+    cpus = available_cpus()
+    section = {
         "query": HOT_QUERY,
+        "backend": backend,
+        "transport": run.transport,
         "rows": {"Person": 2400, "Disease": 800},
         "serial_seconds": round(serial_s, 6),
         "parallel_seconds": round(parallel_s, 6),
         "speedup": round(speedup, 3),
         "batches": run.actual(),
         "distinct_worker_pids": len(run.worker_slices()),
-        "asserted": cpus >= 4 and WORKERS >= 4,
+        "asserted": backend == BACKEND and cpus >= 4 and WORKERS >= 4,
     }
-    if cpus >= 4 and WORKERS >= 4:
+    if section["asserted"]:
         assert speedup >= 2.0, (
-            f"expected >= 2x at {WORKERS} workers on {cpus} cpus, "
-            f"got {speedup:.2f}x ({serial_s:.3f}s -> {parallel_s:.3f}s)"
+            f"expected >= 2x at {WORKERS} workers on {cpus} cpus "
+            f"({backend} backend), got {speedup:.2f}x "
+            f"({serial_s:.3f}s -> {parallel_s:.3f}s)"
         )
+    return section
+
+
+def test_fig1_parallel_vs_serial_wall_clock(shootout_db, shootout_oracle):
+    """The headline number, on the ``REPRO_BENCH_BACKEND`` backend.
+
+    With the default shm backend, batch fragments cross the process
+    boundary as block descriptors into one shared segment — on a
+    ≥ 4-core machine the 4-way run must beat serial by ≥ 2×.
+    """
+    RESULTS["sections"]["fig1_speedup"] = _fig1_speedup(
+        shootout_db, shootout_oracle, BACKEND
+    )
+
+
+def test_fig1_memory_backend_trajectory(shootout_db, shootout_oracle):
+    """The pickled-transport trajectory, tracked alongside the headline.
+
+    Never asserted against the 2× bar: the whole point of the attached
+    backends is that pickling row fragments costs more — this section
+    is the evidence of how much.
+    """
+    if BACKEND == "memory":
+        pytest.skip("headline section already measures memory")
+    RESULTS["sections"]["fig1_speedup_memory"] = _fig1_speedup(
+        shootout_db, shootout_oracle, "memory"
+    )
+
+
+def test_ipc_calibration_is_recorded():
+    """Measure transport costs here and record them next to the constants.
+
+    The committed constants must stay *at or above* the measured
+    ratios (rounded up generously): overpricing transport only delays
+    parallelism, underpricing would certify dispatches that lose.
+    """
+    from repro.engine.cost import (
+        PARALLEL_ATTACHED_ROW_COST,
+        PARALLEL_IPC_ROW_COST,
+    )
+    from tools.calibrate_ipc import measure
+
+    fitted = measure(rows_n=10_000, repeats=3)
+    RESULTS["ipc_calibration"] = {
+        **fitted,
+        "constants_in_use": {
+            "PARALLEL_IPC_ROW_COST": PARALLEL_IPC_ROW_COST,
+            "PARALLEL_ATTACHED_ROW_COST": PARALLEL_ATTACHED_ROW_COST,
+        },
+    }
+    # Loose sanity bound, not a timing assertion: pickled transport
+    # must genuinely cost more than a plain row touch, else the whole
+    # surcharge model is measuring noise.
+    assert fitted["fitted_ipc_row_cost"] > 0
 
 
 def test_fig1_parallel_execution_rate(benchmark, shootout_db, shootout_oracle):

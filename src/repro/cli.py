@@ -97,6 +97,7 @@ def _session_options(args):
     """
     budget = getattr(args, "partition_budget", None)
     workers = getattr(args, "max_workers", None)
+    backend = getattr(args, "backend", None)
     no_costs = bool(getattr(args, "no_costs", False))
     no_reorder = bool(getattr(args, "no_reorder_joins", False))
     no_partitions = bool(getattr(args, "no_partitions", False))
@@ -119,18 +120,21 @@ def _session_options(args):
     if (
         budget is None
         and workers is None
+        and backend is None
         and not (no_costs or no_reorder or no_partitions)
     ):
         return None
     from repro.engine import PlannerOptions
 
-    # PlannerOptions validates the budget and worker count itself.
+    # PlannerOptions validates the budget, worker count, and backend
+    # kind itself.
     return PlannerOptions(
         use_costs=not no_costs,
         reorder_joins=not no_reorder,
         use_partitions=not no_partitions,
         partition_budget=budget,
         max_workers=1 if workers is None else workers,
+        backend="memory" if backend is None else backend,
     )
 
 
@@ -175,6 +179,8 @@ def _engine_flags_given(args) -> tuple[str, ...]:
         given.append("--partition-budget")
     if getattr(args, "max_workers", None) is not None:
         given.append("--max-workers")
+    if getattr(args, "backend", None) is not None:
+        given.append("--backend")
     for attr, flag, __ in _SESSION_BOOL_FLAGS:
         if getattr(args, attr, False):
             given.append(flag)
@@ -196,7 +202,10 @@ def _cmd_eval(args) -> int:
         result = evaluate(expr, db, use_engine=False)
     else:
         session = _session_from_flags(args)
-        result = session.query(args.expression).run()
+        try:
+            result = session.query(args.expression).run()
+        finally:
+            session.close()
     rows = sorted(result, key=repr)
     for row in rows:
         print("\t".join(str(v) for v in row))
@@ -211,10 +220,12 @@ def _cmd_explain(args) -> int:
         # Session-backed: the plan printed is cost-based against the
         # database's statistics, and is exactly the plan executed and
         # measured below (EXPLAIN ANALYZE-style).
-        session = _session_from_flags(args)
-        prepared = session.query(args.expression)
-        print(prepared.explain(costs=args.costs, analyze=args.analyze))
-        result = prepared.run()
+        with _session_from_flags(args) as session:
+            prepared = session.query(args.expression)
+            print(
+                prepared.explain(costs=args.costs, analyze=args.analyze)
+            )
+            result = prepared.run()
         print(f"-- {len(result)} row(s)", file=sys.stderr)
         print(session.last_report.render(), file=sys.stderr)
         return 0
@@ -273,10 +284,10 @@ def _cmd_divide(args) -> int:
     # Session.divide validates the operand names and arities against
     # the schema before dispatching, so every algorithm choice —
     # engine-planned or direct — fails identically on bad operands.
-    session = _session_from_flags(args)
-    quotient = session.divide(
-        args.dividend, args.divisor, algorithm=args.algorithm
-    )
+    with _session_from_flags(args) as session:
+        quotient = session.divide(
+            args.dividend, args.divisor, algorithm=args.algorithm
+        )
     for value in sorted(quotient, key=repr):
         print(value)
     print(f"-- {len(quotient)} row(s)", file=sys.stderr)
@@ -357,6 +368,15 @@ def _session_flags_parser() -> argparse.ArgumentParser:
         help="shard batched operators across N worker processes when "
         "the cost model certifies the parallel cost beats serial "
         "(needs cost-based planning; 1 = exactly serial)",
+    )
+    group.add_argument(
+        "--backend",
+        choices=("memory", "shm", "mmap"),
+        help="storage backend the session reads relations from: "
+        "'memory' (default) serves rows straight off the loaded "
+        "database, 'shm' encodes them columnar into shared memory "
+        "(parallel workers attach by segment name), 'mmap' spills the "
+        "same columnar layout to a memory-mapped temp file",
     )
     for __, flag, help_text in _SESSION_BOOL_FLAGS:
         group.add_argument(flag, action="store_true", help=help_text)

@@ -61,6 +61,7 @@ from repro.engine.parallel import (
     ParallelRun,
     WorkerSlice,
     apply_parallelism,
+    available_cpus,
     shutdown_worker_pools,
 )
 from repro.engine.partition import (
@@ -102,6 +103,7 @@ __all__ = [
     "WorkerSlice",
     "apply_parallelism",
     "apply_partitioning",
+    "available_cpus",
     "estimate_plan",
     "execute_plan",
     "explain",

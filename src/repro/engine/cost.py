@@ -67,12 +67,26 @@ DEFAULT_ROWS = 1000.0
 #: to the (still sound) pairwise product bound.
 AGM_MAX_EDGES = 7
 
-#: Per-row surcharge for crossing the process boundary (pickling a row
-#: out to a worker or a result row back).  Deliberately several times
-#: the unit row-handling cost: IPC serialization is far heavier than an
-#: in-process row touch, and overpricing it only delays parallelism
-#: until the compute genuinely dominates.
-PARALLEL_IPC_ROW_COST = 4.0
+#: Per-row surcharge for crossing the process boundary as pickled
+#: fragments (a row out to a worker, a result row back).  Calibrated
+#: by ``tools/calibrate_ipc.py``: a pickle dumps+loads round trip
+#: measures 4.7–5.0× the unit row touch (a hash-semijoin build/probe
+#: step) on the reference machine; committed as the rounded-up fit —
+#: overpricing transport only delays parallelism until the compute
+#: genuinely dominates, while underpricing would certify dispatches
+#: that lose (``BENCH_parallel.json`` records the fit next to this
+#: constant on every benchmark run).
+PARALLEL_IPC_ROW_COST = 5.0
+
+#: Per-row surcharge when the backend is *attached* (shm/mmap): the
+#: scatter writes each distinct fragment once into a shared columnar
+#: buffer and ships only descriptors, so the parent's serial critical
+#: path is the columnar encode — calibrated at ~1.6× the unit row
+#: touch (see ``tools/calibrate_ipc.py``), committed rounded up.  The
+#: worker-side decode overlaps the divided kernel work, and replicated
+#: sides (a θ-semijoin's right side, a division's divisor) are encoded
+#: once instead of re-pickled per task.
+PARALLEL_ATTACHED_ROW_COST = 2.0
 
 #: Fixed dispatch/bookkeeping cost per batch submitted to the pool.
 PARALLEL_BATCH_COST = 64.0
@@ -138,8 +152,17 @@ class CostModel:
     database the plan will run against, or the ``sound`` flags lie.
     """
 
-    def __init__(self, catalog: StatsCatalog | None = None) -> None:
+    def __init__(
+        self,
+        catalog: StatsCatalog | None = None,
+        backend: str = "memory",
+    ) -> None:
         self.catalog = catalog
+        #: The storage-backend kind (:data:`repro.storage.backend.
+        #: BACKEND_KINDS`) execution will run against — it decides the
+        #: per-row transport price in :func:`parallel_cost_split`
+        #: (attached backends ship descriptors, not pickles).
+        self.backend = backend
         self._memo: dict[PlanNode, Estimate] = {}
 
     # ------------------------------------------------------------------
@@ -736,15 +759,26 @@ def parallel_cost_split(
 
     ``serial`` is what running the inner operator in one process costs;
     ``parallel`` adds the scatter pass, prices every potentially
-    shipped row (inputs out, results back — bounded by the sound upper
-    bounds) at :data:`PARALLEL_IPC_ROW_COST`, divides only the
+    shipped row (bounded by the sound upper bounds), divides only the
     operator's own work (:func:`parallel_work_bound`) by the worker
     count, and charges the fixed per-batch and startup overheads.
+
+    The transport price is per-backend (``model.backend``): rows going
+    *out* to workers cost :data:`PARALLEL_IPC_ROW_COST` each on the
+    memory backend (pickled fragments) but only
+    :data:`PARALLEL_ATTACHED_ROW_COST` on attached backends, where the
+    scatter writes one shared columnar shipment and workers attach by
+    name (:mod:`repro.storage.ship`).  Result rows come *back* through
+    the pool's pickled return path on every backend, so they stay at
+    the IPC price.
+
     ``None`` when any bound involved is unsound or infinite — nothing
-    can then certify that scatter + IPC is paid back, so the planner
-    keeps the serial plan (mirroring the partition gate's refusal to
-    partition uncertified plans).
+    can then certify that scatter + transport is paid back, so the
+    planner keeps the serial plan (mirroring the partition gate's
+    refusal to partition uncertified plans).
     """
+    from repro.storage.backend import ATTACHED_KINDS
+
     inner = model.estimate(node.inner)
     work = parallel_work_bound(model, node.inner)
     if not inner.sound or not math.isfinite(work):
@@ -756,14 +790,20 @@ def parallel_cost_split(
     ]
     if any(not math.isfinite(c.upper) for c in children):
         return None
+    outbound_price = (
+        PARALLEL_ATTACHED_ROW_COST
+        if model.backend in ATTACHED_KINDS
+        else PARALLEL_IPC_ROW_COST
+    )
     base = sum(c.cost for c in children)
     serial = base + work
-    shipped = sum(c.upper for c in children) + inner.upper
+    outbound = sum(c.upper for c in children)
     parallel = (
         base
         + sum(c.rows for c in children)  # the scatter/grouping pass
         + work / max(node.workers, 1)
-        + PARALLEL_IPC_ROW_COST * shipped
+        + outbound_price * outbound
+        + PARALLEL_IPC_ROW_COST * inner.upper  # results return pickled
         + PARALLEL_BATCH_COST * node.partitions
         + PARALLEL_STARTUP_COST
     )

@@ -368,18 +368,45 @@ class Executor:
     COST_MEMO_BOUND = 50_000
 
     def __init__(
-        self, db: Database, results: ResultCache | None = None
+        self,
+        db: Database,
+        results: ResultCache | None = None,
+        backend=None,
     ) -> None:
         from repro.engine.cost import CostModel
         from repro.engine.stats import StatsCatalog
+        from repro.storage import Backend, open_backend
 
         self.db = db
+        if backend is None:
+            backend = open_backend(db, "memory")
+        elif isinstance(backend, str):
+            backend = open_backend(db, backend)
+        elif not isinstance(backend, Backend):
+            raise SchemaError(
+                "backend must be a kind name or a repro.storage."
+                f"Backend, got {type(backend).__name__}"
+            )
+        elif backend.db is not db:
+            # Identity, not equality: version tokens are per-handle,
+            # so a backend over an equal-but-distinct Database would
+            # never observe this handle's mutations.
+            raise SchemaError(
+                "backend is bound to a different database; storage "
+                "snapshots are per-database — open a matching backend"
+            )
+        #: Where relation contents are read from (``repro.storage``).
+        #: Scans, the partition/parallel staleness checks, and the
+        #: parallel shipment transport all go through it; the memory
+        #: backend reproduces the pre-backend direct-dict behaviour
+        #: exactly.
+        self.backend = backend
         self.indexes = IndexCache()
         self.stats = ExecutionStats()
         self.catalog = StatsCatalog(db)
         #: One cost model for planning *and* execution-time recording,
         #: so estimates priced during planning are reused, not redone.
-        self.cost_model = CostModel(self.catalog)
+        self.cost_model = CostModel(self.catalog, backend=backend.kind)
         #: The cross-query result cache seam (None → no caching).  The
         #: :class:`~repro.session.Session` front door passes one in;
         #: it is invalidated with every other cache on version-token
@@ -392,7 +419,7 @@ class Executor:
         self._estimates: "OrderedDict[PlanNode, dict[PlanNode, object]]" = (
             OrderedDict()
         )
-        self._version = db.version_token()
+        self._version = backend.version_token()
 
     @property
     def version(self) -> int:
@@ -409,7 +436,7 @@ class Executor:
         """
         from repro.engine.cost import CostModel
 
-        current = self.db.version_token()
+        current = self.backend.version_token()
         if current == self._version:
             return
         self._version = current
@@ -418,10 +445,14 @@ class Executor:
         self._estimates.clear()
         self.indexes = IndexCache()
         self.catalog.invalidate()
-        self.cost_model = CostModel(self.catalog)
+        self.cost_model = CostModel(self.catalog, backend=self.backend.kind)
         self.stats = ExecutionStats()
         if self.results is not None:
             self.results.invalidate()
+        # Columnar backends snapshot contents at encode time; re-encode
+        # so the next scan reads the new contents instead of raising
+        # StaleDataError on the stale snapshot.
+        self.backend.refresh()
 
     def plan(self, expr: Expr, options=None) -> PlanNode:
         """Cost-based plan for ``expr`` using this database's statistics.
@@ -443,7 +474,9 @@ class Executor:
         if len(self.cost_model) > self.COST_MEMO_BOUND:
             from repro.engine.cost import CostModel
 
-            self.cost_model = CostModel(self.catalog)
+            self.cost_model = CostModel(
+                self.catalog, backend=self.backend.kind
+            )
         planned = Planner(options, self.catalog, self.cost_model).plan(expr)
         self._plans[key] = planned
         while len(self._plans) > self.PLAN_CACHE_SIZE:
@@ -519,6 +552,18 @@ class Executor:
         self._memo.clear()
         self.stats = ExecutionStats()
 
+    def close(self) -> None:
+        """Release the backend's storage (idempotent).
+
+        Shared-memory segments and spill files are owned by the
+        backend; :meth:`~repro.session.Session.close` routes here so a
+        session's storage never outlives it.  A memory backend has
+        nothing to release but is still marked closed, keeping the
+        "closed sessions don't serve queries" contract uniform across
+        backends.
+        """
+        self.backend.close()
+
     # ------------------------------------------------------------------
     # Node dispatch
     # ------------------------------------------------------------------
@@ -580,7 +625,7 @@ class Executor:
 
     def _scan(self, node: ScanOp) -> Relation:
         name = node.expr.name
-        stored = self.db[name]
+        stored = self.backend.rows(name)
         if self.db.schema[name] != node.expr.arity:
             raise ArityError(
                 f"plan expects {name!r} with arity {node.expr.arity}, "

@@ -11,13 +11,20 @@ loop.
 Three properties the implementation is organized around:
 
 * **Parallel ≡ serial by construction.**  Workers run the module-level
-  kernels of :mod:`repro.engine.partition` on pickled fragments — the
-  identical code the serial partitioned path runs in-process.  When a
+  kernels of :mod:`repro.engine.partition` — the identical code the
+  serial partitioned path runs in-process.  When a
   :class:`~repro.engine.plan.ParallelOp` carries a budget, the batches
   are the exact ones :func:`~repro.engine.partition.packed_or_fallback`
   would produce serially; without a budget they are sized to balance
   *work* (not memory) across ``workers × OVERSUBSCRIPTION`` batches so
-  one hot key cannot serialize the run.
+  one hot key cannot serialize the run.  How fragments *reach* the
+  kernels depends on the executor's storage backend: on the memory
+  backend they are pickled through the pool (the original transport);
+  on an attached backend (shm/mmap) the scatter writes every distinct
+  fragment once into a shared columnar shipment and the tasks carry
+  only block descriptors — workers attach by segment name or spill
+  path and decode in place (:mod:`repro.storage.ship`), which is what
+  makes the dispatch pay off on multi-core machines.
 * **Certified dispatch only.**  The planner post-pass
   (:func:`apply_parallelism`) consults
   :func:`~repro.engine.cost.parallel_cost_split`: a sound bound on the
@@ -75,11 +82,34 @@ from repro.engine.plan import (
     PlanNode,
 )
 from repro.errors import SchemaError
+from repro.storage.ship import ShipmentWriter, run_shipped_task
 
 #: Batches per worker when no memory budget shapes them: enough slack
 #: that a skewed batch does not serialize the tail, few enough that the
 #: fixed per-batch dispatch cost stays negligible.
 OVERSUBSCRIPTION = 4
+
+
+def available_cpus() -> int:
+    """CPUs actually usable by this process, not the machine's total.
+
+    ``os.cpu_count()`` reports installed cores even when an affinity
+    mask or cgroup quota pins the process to fewer — which is how the
+    seed benchmark recorded ``cpu_count: 4`` worth of workers on one
+    usable core and a 0.95× "speedup".  Prefers
+    ``os.process_cpu_count`` (3.13+), then the scheduler affinity
+    mask, then ``os.cpu_count`` as the last resort; the benchmarks and
+    their speedup assertions gate on this figure.
+    """
+    getter = getattr(os, "process_cpu_count", None)
+    if getter is not None:
+        counted = getter()
+        if counted:
+            return counted
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
 
 
 # ----------------------------------------------------------------------
@@ -116,6 +146,10 @@ class ParallelRun(PartitionRun):
     timings: list[tuple[int, float]] = field(default_factory=list)
     #: why batches ran inline instead of on the pool, if they did
     pool_fallback: str | None = None
+    #: how fragments crossed the process boundary: ``"shm"``/``"file"``
+    #: when a sealed shipment carried them (attached backends),
+    #: ``None`` for pickled transport or inline execution
+    transport: str | None = None
 
     def within_budget(self) -> bool:
         if self.budget is None:
@@ -141,6 +175,8 @@ class ParallelRun(PartitionRun):
             f"budget={'none' if self.budget is None else self.budget} "
             f"workers={self.workers}"
         )
+        if self.transport:
+            line += f" transport={self.transport}"
         if self.fallback:
             line += f" [one-shot fallback: {self.fallback}]"
         if self.pool_fallback:
@@ -224,7 +260,7 @@ def _work_capacity(weights: dict[object, int], workers: int) -> int:
 
 
 def _scatter_keyed(
-    executor, node: ParallelOp, inner
+    executor, node: ParallelOp, inner, ship: ShipmentWriter | None
 ) -> tuple[list[_Task], int, str | None]:
     """Hash join / hash semijoin: group both sides on the equality keys.
 
@@ -232,7 +268,9 @@ def _scatter_keyed(
     :class:`~repro.engine.executor.IndexCache`) and — under a budget —
     identical packing to the serial ``_run_keyed``.  Without a budget,
     weights switch from rows-in-flight to *work* (the pair count a key
-    group can generate) so batches even out worker load.
+    group can generate) so batches even out worker load.  With a
+    shipment writer, each key group's fragment is registered once and
+    tasks carry block references instead of the rows.
     """
     eq = inner.cond.by_op("=")
     left_positions = tuple(a.i for a in eq)
@@ -270,6 +308,10 @@ def _scatter_keyed(
     for keys in batches:
         pairs = [(left_groups[key], right_groups[key]) for key in keys]
         input_rows = sum(len(ls) + len(rs) for ls, rs in pairs)
+        if ship is not None:
+            pairs = [
+                (ship.rows(ls), ship.rows(rs)) for ls, rs in pairs
+            ]
         tasks.append(
             _Task(len(keys), input_rows, keyed_batch_kernel,
                   (pairs, rest, join))
@@ -278,9 +320,16 @@ def _scatter_keyed(
 
 
 def _scatter_semijoin(
-    executor, node: ParallelOp, inner: NestedLoopSemijoinOp
+    executor, node: ParallelOp, inner: NestedLoopSemijoinOp,
+    ship: ShipmentWriter | None,
 ) -> tuple[list[_Task], int, str | None]:
-    """θ-semijoin: batch left rows; the right side ships to every batch."""
+    """θ-semijoin: batch left rows; the right side ships to every batch.
+
+    The replicated right side is where descriptor transport wins most:
+    the writer's identity dedup encodes it once, and every task's
+    reference resolves to the same block — pickled transport
+    re-serializes it per task.
+    """
     left_rows = executor._rows(inner.left)
     right_rows = list(executor._rows(inner.right))
     replicated = len(right_rows)
@@ -294,18 +343,32 @@ def _scatter_semijoin(
             weights, _work_capacity(weights, node.workers)
         )
         fallback = None
-    tasks = [
-        _Task(len(batch), len(batch), semijoin_batch_kernel,
-              (list(batch), right_rows, inner.cond))
-        for batch in batches
-    ]
+    shipped_right = (
+        ship.rows(right_rows) if ship is not None else right_rows
+    )
+    tasks = []
+    for batch in batches:
+        batch_rows = list(batch)
+        shipped_batch = (
+            ship.rows(batch_rows) if ship is not None else batch_rows
+        )
+        tasks.append(
+            _Task(len(batch), len(batch), semijoin_batch_kernel,
+                  (shipped_batch, shipped_right, inner.cond))
+        )
     return tasks, replicated, fallback
 
 
 def _scatter_division(
-    executor, node: ParallelOp, inner: DivisionOp
+    executor, node: ParallelOp, inner: DivisionOp,
+    ship: ShipmentWriter | None,
 ) -> tuple[list[_Task], int, str | None]:
-    """Division: shard the dividend by candidate; ship the divisor."""
+    """Division: shard the dividend by candidate; ship the divisor.
+
+    Like the θ-semijoin's right side, the divisor is replicated into
+    every batch and therefore encoded exactly once under descriptor
+    transport (as a scalar value block).
+    """
     divisor_rows = executor._rows(inner.divisor)
     replicated = len(divisor_rows)
     if not divisor_rows and inner.empty_divisor == "none":
@@ -330,12 +393,19 @@ def _scatter_division(
             weights, _work_capacity(weights, node.workers)
         )
         fallback = None
+    shipped_divisor = (
+        ship.values(divisor) if ship is not None else divisor
+    )
     tasks = []
     for keys in batches:
         fragment = [row for key in keys for row in groups[key]]
+        shipped_fragment = (
+            ship.rows(fragment) if ship is not None else fragment
+        )
         tasks.append(
             _Task(len(keys), len(fragment), division_batch_kernel,
-                  (fragment, divisor, inner.method, inner.eq))
+                  (shipped_fragment, shipped_divisor, inner.method,
+                   inner.eq))
         )
     return tasks, replicated, fallback
 
@@ -353,17 +423,33 @@ def run_parallel(executor, node: ParallelOp) -> list[Row]:
     :class:`ParallelRun` in the executor's stats.  Single-batch and
     ``workers=1`` runs skip the pool entirely; a missing or broken
     pool degrades to inline execution of the same batches.
+
+    When the executor's backend is *attached* (shm/mmap), the scatter
+    registers fragments with a :class:`~repro.storage.ship.
+    ShipmentWriter` and the pool path seals them into one shared
+    columnar shipment that workers attach to — tasks then carry block
+    descriptors, not rows.  Every fallback path (single batch, no
+    pool, pool broke, shipment storage unavailable) resolves the same
+    references locally at zero encode cost, so degraded environments
+    run the identical batches inline.
     """
     inner = node.inner
+    ship: ShipmentWriter | None = None
+    if executor.backend.attached and node.workers > 1:
+        ship = ShipmentWriter(
+            "file" if executor.backend.kind == "mmap" else "shm"
+        )
     if isinstance(inner, (HashJoinOp, HashSemijoinOp)):
-        tasks, replicated, fallback = _scatter_keyed(executor, node, inner)
+        tasks, replicated, fallback = _scatter_keyed(
+            executor, node, inner, ship
+        )
     elif isinstance(inner, NestedLoopSemijoinOp):
         tasks, replicated, fallback = _scatter_semijoin(
-            executor, node, inner
+            executor, node, inner, ship
         )
     elif isinstance(inner, DivisionOp):
         tasks, replicated, fallback = _scatter_division(
-            executor, node, inner
+            executor, node, inner, ship
         )
     else:  # pragma: no cover - ParallelOp.__post_init__ rejects these
         raise SchemaError(f"cannot parallelize {type(inner).__name__}")
@@ -380,30 +466,50 @@ def run_parallel(executor, node: ParallelOp) -> list[Row]:
         reason = (
             "single batch" if len(tasks) <= 1 else "workers=1"
         )
-        _gather_inline(executor, node, run, tasks, out, reason)
+        _gather_inline(executor, node, run, tasks, out, reason, ship)
     else:
         try:
             pool = _pool_for(node.workers)
         except OSError as error:
             _gather_inline(
                 executor, node, run, tasks, out,
-                f"pool unavailable ({error})",
+                f"pool unavailable ({error})", ship,
             )
         else:
+            shipment = None
             try:
-                _gather_pool(executor, node, run, pool, tasks, out)
-            except BrokenProcessPool as error:
-                # Dispose of the broken pool and redo the whole run
-                # inline — partial results may be missing batches.
-                _pools.pop(node.workers, None)
-                pool.shutdown(wait=False, cancel_futures=True)
-                run.batches.clear()
-                run.timings.clear()
-                out.clear()
-                _gather_inline(
-                    executor, node, run, tasks, out,
-                    f"worker pool broke ({error})",
-                )
+                try:
+                    if ship is not None and len(ship):
+                        shipment = ship.seal()
+                        run.transport = ship.transport
+                except OSError as error:
+                    _gather_inline(
+                        executor, node, run, tasks, out,
+                        f"shipment storage unavailable ({error})", ship,
+                    )
+                else:
+                    try:
+                        _gather_pool(
+                            executor, node, run, pool, tasks, out,
+                            shipment,
+                        )
+                    except BrokenProcessPool as error:
+                        # Dispose of the broken pool and redo the whole
+                        # run inline — partial results may be missing
+                        # batches.
+                        _pools.pop(node.workers, None)
+                        pool.shutdown(wait=False, cancel_futures=True)
+                        run.batches.clear()
+                        run.timings.clear()
+                        run.transport = None
+                        out.clear()
+                        _gather_inline(
+                            executor, node, run, tasks, out,
+                            f"worker pool broke ({error})", ship,
+                        )
+            finally:
+                if shipment is not None:
+                    shipment.close()
     executor.stats.partition_runs[node] = run
     return out
 
@@ -422,20 +528,27 @@ def _record(run: ParallelRun, task: _Task, rows, seconds, pid) -> None:
 
 
 def _gather_inline(
-    executor, node, run: ParallelRun, tasks, out, reason: str | None
+    executor, node, run: ParallelRun, tasks, out,
+    reason: str | None, ship: ShipmentWriter | None = None,
 ) -> None:
-    """Run the batches in-process (serial semantics, same kernels)."""
+    """Run the batches in-process (serial semantics, same kernels).
+
+    Shipment block references resolve to the original fragment objects
+    (:meth:`~repro.storage.ship.ShipmentWriter.resolve_local`) — no
+    encoding happened or happens on this path.
+    """
     if reason is not None and node.workers > 1:
         run.pool_fallback = reason
     for task in tasks:
         _check_version(executor, node)
-        rows, seconds, pid = _run_task(task.kernel, task.args)
+        args = task.args if ship is None else ship.resolve_local(task.args)
+        rows, seconds, pid = _run_task(task.kernel, args)
         out.extend(rows)
         _record(run, task, rows, seconds, pid)
 
 
 def _gather_pool(
-    executor, node, run: ParallelRun, pool, tasks, out
+    executor, node, run: ParallelRun, pool, tasks, out, shipment=None
 ) -> None:
     """Dispatch batches to the pool; re-check the version per gather.
 
@@ -447,12 +560,28 @@ def _gather_pool(
     result could mix content versions.  On staleness the remaining
     futures are cancelled (best-effort; running ones finish and are
     dropped with the pool's blessing — workers never see the database,
-    only pickled fragments).
+    only shipped fragments).
+
+    With a sealed ``shipment``, tasks are dispatched through
+    :func:`~repro.storage.ship.run_shipped_task`: the pickled payload
+    per task is the locator + block table + argument skeleton, and the
+    fragment bytes travel through the shared segment/spill file
+    instead.
     """
     _check_version(executor, node)
-    futures = [
-        pool.submit(_run_task, task.kernel, task.args) for task in tasks
-    ]
+    if shipment is None:
+        futures = [
+            pool.submit(_run_task, task.kernel, task.args)
+            for task in tasks
+        ]
+    else:
+        futures = [
+            pool.submit(
+                run_shipped_task, shipment.locator, shipment.blocks,
+                task.kernel, task.args,
+            )
+            for task in tasks
+        ]
     try:
         for task, future in zip(tasks, futures):
             rows, seconds, pid = future.result()

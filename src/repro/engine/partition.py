@@ -424,7 +424,7 @@ def run_partitioned(executor, node: PartitionedOp) -> list[Row]:
 
 def _check_version(executor, node: PartitionedOp) -> None:
     """Fail fast if the database mutated between batches."""
-    if executor.db.version_token() != executor._version:
+    if executor.backend.version_token() != executor._version:
         raise StaleDataError(
             "relation contents changed between batches of "
             f"{node.label()}; earlier batches saw the old contents — "

@@ -129,6 +129,15 @@ class PlannerOptions:
     :class:`~repro.engine.plan.ParallelOp` and their batches run on a
     process pool of that many workers.  The default ``1`` keeps
     planning and execution exactly serial.
+
+    ``backend`` selects the storage backend
+    (:data:`repro.storage.backend.BACKEND_KINDS`) a
+    :class:`~repro.session.Session` or CLI invocation opens for its
+    executor.  It is a *construction* knob: the executor's actual
+    backend is what the cost model prices (attached backends get the
+    cheaper descriptor transport rate in the parallel dispatch gate)
+    and what execution reads from; a per-query options override never
+    changes the storage mid-session.
     """
 
     division_method: str = "hash"
@@ -140,6 +149,7 @@ class PlannerOptions:
     use_partitions: bool = True
     partition_budget: int | None = None
     max_workers: int = 1
+    backend: str = "memory"
 
     def __post_init__(self) -> None:
         # Fail fast: apply_partitioning only runs on plans that contain
@@ -153,6 +163,13 @@ class PlannerOptions:
         if self.max_workers < 1:
             raise SchemaError(
                 f"max_workers must be >= 1, got {self.max_workers}"
+            )
+        from repro.storage.backend import BACKEND_KINDS
+
+        if self.backend not in BACKEND_KINDS:
+            raise SchemaError(
+                f"unknown storage backend {self.backend!r}; expected "
+                f"one of {', '.join(BACKEND_KINDS)}"
             )
 
 

@@ -1,0 +1,32 @@
+"""Storage backends: where the engine's relation bytes live.
+
+See :mod:`repro.storage.backend` for the protocol and the design
+rationale, :mod:`repro.storage.shm`/:mod:`repro.storage.mmapio` for
+the attachable columnar implementations, and :mod:`repro.storage.ship`
+for the descriptor-based batch transport the parallel path uses over
+attached backends.  ``docs/storage.md`` is the narrative tour.
+"""
+
+from repro.storage.backend import (
+    BACKEND_KINDS,
+    Backend,
+    ColumnarBackend,
+    MemoryBackend,
+    open_backend,
+)
+from repro.storage.mmapio import MmapBackend
+from repro.storage.shm import SharedMemoryBackend
+from repro.storage.ship import BlockRef, Shipment, ShipmentWriter
+
+__all__ = [
+    "BACKEND_KINDS",
+    "Backend",
+    "BlockRef",
+    "ColumnarBackend",
+    "MemoryBackend",
+    "MmapBackend",
+    "SharedMemoryBackend",
+    "Shipment",
+    "ShipmentWriter",
+    "open_backend",
+]

@@ -1,0 +1,137 @@
+"""Shared-memory segments: creation registry, safe attach, backend.
+
+Segment lifecycle is the part of the storage tentpole that can actually
+hurt: a leaked POSIX shared-memory object survives the process, and
+:mod:`multiprocessing.resource_tracker` on this Python registers a
+segment on *attach* as well as create, so naive worker attaches either
+double-unlink or spam leak warnings at exit.  The rules implemented
+here:
+
+* **Create through :func:`create_segment` only.**  Names are
+  pid-scoped (``repro-<pid>-<n>``) so concurrent test runs cannot
+  collide, and every created segment is tracked in a module registry
+  that an ``atexit`` hook drains — crash-during-query still unlinks.
+* **The creator unlinks.**  :func:`release_segment` closes and unlinks
+  exactly once (idempotent; a missing segment is not an error) and is
+  called from backend/shipment ``close()`` — refcounted by the single
+  owner rather than by attach count, which POSIX semantics make safe:
+  an unlinked-while-mapped segment stays readable until the last
+  attacher closes.
+* **Workers attach untracked.**  :func:`attach_segment` suppresses the
+  resource tracker's attach-side registration (the 3.13
+  ``track=False`` behaviour, done by temporarily no-op-ing
+  ``resource_tracker.register`` — it is consulted by attribute).  A
+  spawn-started worker would otherwise hand the name to its *own*
+  tracker, which unlinks it when the worker exits — yanking the
+  segment out from under the parent mid-run.
+
+:data:`live_segment_names` exists for the leak-check test: after every
+session and shipment is closed it must be empty, and ``/dev/shm`` must
+hold nothing with this process's prefix.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import os
+from multiprocessing import resource_tracker, shared_memory
+
+from repro.storage.backend import ColumnarBackend
+
+#: Every segment this process creates starts with this (pid-scoped, so
+#: the leak test can scan ``/dev/shm`` for strays without seeing other
+#: runs; short, because POSIX shm names are capped near 31 chars on
+#: some platforms).
+SEGMENT_PREFIX = f"repro-{os.getpid()}-"
+
+_counter = itertools.count()
+_live: dict[str, shared_memory.SharedMemory] = {}
+
+
+def create_segment(nbytes: int) -> shared_memory.SharedMemory:
+    """Create a tracked, pid-scoped segment of at least ``nbytes``."""
+    name = f"{SEGMENT_PREFIX}{next(_counter)}"
+    segment = shared_memory.SharedMemory(
+        name=name, create=True, size=max(nbytes, 1)
+    )
+    _live[segment.name] = segment
+    return segment
+
+
+def release_segment(segment: shared_memory.SharedMemory) -> None:
+    """Close and unlink ``segment`` (idempotent, crash-tolerant)."""
+    _live.pop(segment.name, None)
+    try:
+        segment.close()
+    except BufferError:  # pragma: no cover - an exported view is alive
+        pass  # unlink still removes the name; memory frees on last close
+    try:
+        segment.unlink()
+    except FileNotFoundError:
+        pass  # already unlinked (e.g. atexit after an explicit close)
+
+
+def attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without tracker registration.
+
+    Worker-side only; the caller must ``close()`` (never ``unlink()``)
+    the returned handle.  See the module docstring for why attach-side
+    registration must be suppressed.
+    """
+    registered = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = registered
+
+
+def live_segment_names() -> tuple[str, ...]:
+    """Names of segments created here and not yet released (leak test)."""
+    return tuple(sorted(_live))
+
+
+def _release_all() -> None:
+    for segment in list(_live.values()):
+        release_segment(segment)
+
+
+atexit.register(_release_all)
+
+
+class SharedMemoryBackend(ColumnarBackend):
+    """Relations encoded columnar into one shared-memory segment.
+
+    The segment is written once per content version (and re-encoded by
+    :meth:`refresh` when the version token moves).  Decoded relations
+    are memoized, so serial reads pay the decode once; the segment's
+    purpose is the parallel path, where batch shipments ride the same
+    shared-memory transport and workers attach by name instead of
+    unpickling row fragments.
+    """
+
+    kind = "shm"
+    attached = True
+
+    def _store(self, parts: list[bytes], nbytes: int) -> None:
+        segment = create_segment(nbytes)
+        offset = 0
+        for part in parts:
+            segment.buf[offset : offset + len(part)] = part
+            offset += len(part)
+        self._segment = segment
+
+    def _buffer(self) -> memoryview:
+        return self._segment.buf
+
+    def _release(self) -> None:
+        release_segment(self._segment)
+
+    def storage_bytes(self) -> int:
+        return 0 if self._closed else self._segment.size
+
+    def segment_name(self) -> str:
+        """The attachable segment name (diagnostics and tests)."""
+        self._ensure_open()
+        return self._segment.name

@@ -30,6 +30,11 @@ LANDMARKS = {
     "dichotomy_explorer.py": ["verdict", "Exponent spectrum:"],
     "division_showdown.py": ["max intermediate result size", "γ plan"],
     "bisimulation_game.py": ["spoiler wins in 2 move(s)", "duplicator wins? True"],
+    "storage_backends.py": [
+        "stale read raised: StaleDataError",
+        "closed: 0 spill file(s), 0 shm segment(s)",
+        "query after close raised: SchemaError",
+    ],
 }
 
 
