@@ -98,9 +98,16 @@ def _session_options(args):
     budget = getattr(args, "partition_budget", None)
     workers = getattr(args, "max_workers", None)
     backend = getattr(args, "backend", None)
+    replan = getattr(args, "replan_threshold", None)
     no_costs = bool(getattr(args, "no_costs", False))
     no_reorder = bool(getattr(args, "no_reorder_joins", False))
     no_partitions = bool(getattr(args, "no_partitions", False))
+    if replan is not None and no_costs:
+        raise ReproError(
+            "--replan-threshold needs cost-based planning (the "
+            "threshold measures the cost model's estimation error, "
+            "which --no-costs disables); drop --no-costs"
+        )
     if budget is not None and no_partitions:
         raise ReproError(
             "--partition-budget and --no-partitions contradict each "
@@ -121,13 +128,14 @@ def _session_options(args):
         budget is None
         and workers is None
         and backend is None
+        and replan is None
         and not (no_costs or no_reorder or no_partitions)
     ):
         return None
     from repro.engine import PlannerOptions
 
-    # PlannerOptions validates the budget, worker count, and backend
-    # kind itself.
+    # PlannerOptions validates the budget, worker count, backend kind,
+    # and replan threshold itself.
     return PlannerOptions(
         use_costs=not no_costs,
         reorder_joins=not no_reorder,
@@ -135,6 +143,7 @@ def _session_options(args):
         partition_budget=budget,
         max_workers=1 if workers is None else workers,
         backend="memory" if backend is None else backend,
+        replan_threshold=replan,
     )
 
 
@@ -181,6 +190,8 @@ def _engine_flags_given(args) -> tuple[str, ...]:
         given.append("--max-workers")
     if getattr(args, "backend", None) is not None:
         given.append("--backend")
+    if getattr(args, "replan_threshold", None) is not None:
+        given.append("--replan-threshold")
     for attr, flag, __ in _SESSION_BOOL_FLAGS:
         if getattr(args, attr, False):
             given.append(flag)
@@ -223,14 +234,29 @@ def _cmd_explain(args) -> int:
         with _session_from_flags(args) as session:
             prepared = session.query(args.expression)
             print(
-                prepared.explain(costs=args.costs, analyze=args.analyze)
+                prepared.explain(
+                    costs=args.costs,
+                    analyze=args.analyze,
+                    feedback=getattr(args, "feedback", False),
+                )
             )
             result = prepared.run()
         print(f"-- {len(result)} row(s)", file=sys.stderr)
         print(session.last_report.render(), file=sys.stderr)
+        if getattr(args, "feedback", False):
+            # The stdout report above is the ledger *as it planned* —
+            # empty in a one-shot process.  This one is what the run
+            # just recorded.
+            print(session.feedback.report(), file=sys.stderr)
         return 0
     if not args.schema:
         raise ReproError("provide --database or --schema")
+    if getattr(args, "feedback", False):
+        raise ReproError(
+            "explain --feedback reads the estimator-error ledger, "
+            "which only exists for a database-backed session; provide "
+            "--database"
+        )
     from repro.engine import DEFAULT_OPTIONS, plan_expression
     from repro.engine.planner import explain as explain_plan
 
@@ -378,6 +404,16 @@ def _session_flags_parser() -> argparse.ArgumentParser:
         "(parallel workers attach by segment name), 'mmap' spills the "
         "same columnar layout to a memory-mapped temp file",
     )
+    group.add_argument(
+        "--replan-threshold",
+        type=float,
+        metavar="RATIO",
+        help="re-plan a memoized query when the feedback ledger's "
+        "observed estimator error for any of its operators drifts by "
+        "at least this ratio (> 1; needs cost-based planning), and "
+        "let partitioned operators re-pack remaining batches "
+        "mid-query when actuals beat their priced worst case",
+    )
     for __, flag, help_text in _SESSION_BOOL_FLAGS:
         group.add_argument(flag, action="store_true", help=help_text)
     return flags
@@ -436,6 +472,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="annotate each operator with the cost model's estimated "
         "rows, sound upper bound, and cost (statistics come from -d; "
         "schema-only estimates use default assumptions)",
+    )
+    p_explain.add_argument(
+        "--feedback",
+        action="store_true",
+        help="append the estimator-error feedback ledger report "
+        "(needs -d: the ledger lives on the session's catalog)",
     )
     p_explain.set_defaults(fn=_cmd_explain)
 

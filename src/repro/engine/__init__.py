@@ -80,7 +80,7 @@ from repro.engine.planner import (
     match_division,
     plan_expression,
 )
-from repro.engine.stats import StatsCatalog
+from repro.engine.stats import FeedbackLedger, StatsCatalog, feedback_key
 
 __all__ = [
     "DEFAULT_OPTIONS",
@@ -90,6 +90,7 @@ __all__ = [
     "Estimate",
     "ExecutionStats",
     "Executor",
+    "FeedbackLedger",
     "IndexCache",
     "ParallelOp",
     "ParallelRun",
@@ -107,6 +108,7 @@ __all__ = [
     "estimate_plan",
     "execute_plan",
     "explain",
+    "feedback_key",
     "in_flight_upper",
     "match_division",
     "plan_expression",

@@ -107,6 +107,11 @@ class Estimate:
     cost: float
     distinct: tuple[float, ...]
     sound: bool
+    #: The uncorrected point estimate when feedback adjusted ``rows``
+    #: (None otherwise).  The executor feeds the ledger with *raw*
+    #: estimates so correction factors converge to the true ratio
+    #: instead of compounding their own corrections.
+    raw_rows: float | None = None
 
     def __post_init__(self) -> None:
         # Keep the point estimate inside the certified bound.
@@ -156,6 +161,7 @@ class CostModel:
         self,
         catalog: StatsCatalog | None = None,
         backend: str = "memory",
+        feedback=None,
     ) -> None:
         self.catalog = catalog
         #: The storage-backend kind (:data:`repro.storage.backend.
@@ -163,6 +169,15 @@ class CostModel:
         #: per-row transport price in :func:`parallel_cost_split`
         #: (attached backends ship descriptors, not pickles).
         self.backend = backend
+        #: Optional :class:`~repro.engine.stats.FeedbackLedger` whose
+        #: correction factors adjust *point* estimates (never the
+        #: sound upper bounds — ``Estimate.__post_init__`` clamps the
+        #: corrected rows back under ``upper``, so soundness survives
+        #: any correction).  None keeps the model purely analytic —
+        #: the executor attaches the ledger only when planning with a
+        #: ``replan_threshold``, so default planning is byte-identical
+        #: to the pre-feedback behaviour.
+        self.feedback = feedback
         self._memo: dict[PlanNode, Estimate] = {}
 
     # ------------------------------------------------------------------
@@ -174,8 +189,44 @@ class CostModel:
         if cached is not None:
             return cached
         computed = self._estimate(node)
+        if self.feedback is not None and len(self.feedback):
+            computed = self._corrected(node, computed)
         self._memo[node] = computed
         return computed
+
+    def _corrected(self, node: PlanNode, estimate: Estimate) -> Estimate:
+        """Apply the ledger's correction factor to one point estimate.
+
+        Partition/parallel wrappers are skipped: their rows come from
+        the inner operator's (already corrected) estimate, and
+        :func:`~repro.engine.stats.feedback_key` would unwrap to the
+        same key — correcting here again would compound the factor.
+        The cost moves by the row delta (each estimated output row is
+        one unit of emit work in every operator formula), floored at
+        the children's cumulative cost so a strong downward correction
+        cannot price an operator below the work of producing its
+        inputs.
+        """
+        from dataclasses import replace
+
+        from repro.engine.stats import feedback_key
+
+        if isinstance(node, (PartitionedOp, ParallelOp)):
+            return estimate
+        key = feedback_key(node)
+        if key is None:
+            return estimate
+        factor = self.feedback.factor(key)
+        if factor is None or factor == 1.0:
+            return estimate
+        corrected = min(estimate.rows * factor, estimate.upper)
+        floor = sum(
+            self.estimate(child).cost for child in node.children()
+        )
+        cost = max(estimate.cost + (corrected - estimate.rows), floor)
+        return replace(
+            estimate, rows=corrected, cost=cost, raw_rows=estimate.rows
+        )
 
     def estimates(self, plan: PlanNode) -> dict[PlanNode, Estimate]:
         """Estimates for every node of ``plan`` (post-order keys)."""

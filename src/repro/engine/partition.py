@@ -104,6 +104,11 @@ from repro.setjoins.division import DIVISION_ALGORITHMS, DIVISION_EQ_ALGORITHMS
 #: absurd upper-bound/budget ratios; the executor packs exactly anyway).
 MAX_PARTITIONS = 4096
 
+#: Mid-query re-packing prices remaining batches with the *observed*
+#: output rate times this headroom factor, so one lucky batch does not
+#: immediately re-pack the rest right up against the budget.
+ADAPTIVE_SAFETY = 2.0
+
 
 # ----------------------------------------------------------------------
 # Planning: estimate-driven sizing
@@ -212,6 +217,7 @@ class BatchRecord:
     output_rows: int  #: rows the batch emitted
     in_flight: int  #: input_rows + replicated rows + output_rows
     fallback: bool = False  #: deliberate one-shot batch (capacity ≤ 0)
+    adaptive: bool = False  #: packed with observed-rate (not worst-case) weights
 
     def within(self, budget: int) -> bool:
         """The packing invariant: under budget, or a lone atomic group.
@@ -219,9 +225,17 @@ class BatchRecord:
         A ``fallback`` batch is the deliberate one-shot degradation of
         :func:`packed_or_fallback` — the replicated side alone met the
         budget, so no packing could have helped — and counts as within.
+        An ``adaptive`` batch was packed with observed-rate output
+        weights instead of worst-case ones, so its *inputs* are still
+        budget-bounded by construction but its output (and hence
+        ``in_flight``) is only expected-bounded — the deliberate trade
+        of the mid-query re-plan (``docs/engine.md`` § Adaptive
+        feedback).
         """
         if self.fallback:
             return True
+        if self.adaptive:
+            return self.input_rows <= budget or self.groups <= 1
         return self.in_flight <= budget or self.groups <= 1
 
 
@@ -240,6 +254,8 @@ class PartitionRun:
     batches: list[BatchRecord] = field(default_factory=list)
     #: why packing was abandoned for one-shot execution, if it was
     fallback: str | None = None
+    #: mid-query re-packs of the remaining batches (adaptive feedback)
+    replans: int = 0
 
     def actual(self) -> int:
         return len(self.batches)
@@ -261,6 +277,8 @@ class PartitionRun:
         )
         if self.fallback:
             line += f" [one-shot fallback: {self.fallback}]"
+        if self.replans:
+            line += f" [mid-query re-packs: {self.replans}]"
         return line
 
 
@@ -457,16 +475,33 @@ def _run_keyed(executor, node: PartitionedOp, inner) -> tuple[list, PartitionRun
     right_groups = executor.indexes.index_for(
         inner.right.logical, executor._rows(inner.right), right_positions
     )
+    sizes: dict[object, tuple[int, int]] = {}
     weights: dict[object, int] = {}
     for key in left_groups.keys() & right_groups.keys():
         n_left = len(left_groups[key])
         n_right = len(right_groups[key])
+        sizes[key] = (n_left, n_right)
         worst_output = n_left * n_right if join else n_left
         weights[key] = n_left + n_right + worst_output
 
+    def _weight(key: object, rate: float) -> int:
+        n_left, n_right = sizes[key]
+        worst = n_left * n_right if join else n_left
+        return n_left + n_right + max(1, math.ceil(worst * rate))
+
+    # Worst-case weights to start; the mid-query re-plan below re-packs
+    # the *remaining* batches with observed-rate weights when actuals
+    # show the worst case priced them absurdly (adaptive feedback).
+    threshold = getattr(executor, "_replan_threshold", None)
+    assumed_rate = 1.0
+    done_out = 0
+    done_worst = 0
+
     run = PartitionRun(node.partitions, node.budget)
     out: list[Row] = []
-    for keys in pack_groups(weights, node.budget):
+    pending = list(pack_groups(weights, node.budget))
+    while pending:
+        keys = pending.pop(0)
         _check_version(executor, node)
         pairs = [(left_groups[key], right_groups[key]) for key in keys]
         input_rows = sum(len(ls) + len(rs) for ls, rs in pairs)
@@ -478,8 +513,31 @@ def _run_keyed(executor, node: PartitionedOp, inner) -> tuple[list, PartitionRun
                 input_rows=input_rows,
                 output_rows=len(rows),
                 in_flight=input_rows + len(rows),
+                adaptive=run.replans > 0,
             )
         )
+        done_out += len(rows)
+        for key in keys:
+            n_left, n_right = sizes[key]
+            done_worst += n_left * n_right if join else n_left
+        if threshold is None or not pending or done_worst <= 0:
+            continue
+        # Between-batch checkpoint (same spot the StaleDataError check
+        # runs): if the batches executed so far produced far fewer rows
+        # than the worst-case bound they were priced at, re-pack the
+        # remaining groups with observed-rate weights — fewer, fuller
+        # batches instead of thousands of near-empty ones.
+        observed = max(done_out / done_worst, 1.0 / done_worst)
+        if assumed_rate / observed >= threshold:
+            assumed_rate = min(1.0, observed * ADAPTIVE_SAFETY)
+            remaining = [key for batch in pending for key in batch]
+            pending = list(
+                pack_groups(
+                    {k: _weight(k, assumed_rate) for k in remaining},
+                    node.budget,
+                )
+            )
+            run.replans += 1
     return out, run
 
 

@@ -138,6 +138,20 @@ class PlannerOptions:
     cheaper descriptor transport rate in the parallel dispatch gate)
     and what execution reads from; a per-query options override never
     changes the storage mid-session.
+
+    ``replan_threshold`` closes the estimator feedback loop: when set
+    (a ratio strictly greater than 1), execution feeds each operator's
+    estimated-vs-actual pair into the catalog's persistent
+    :class:`~repro.engine.stats.FeedbackLedger`, the cost model
+    corrects point estimates by the learned factors, a memoized plan
+    is re-planned once any of its operators' correction factors has
+    drifted by at least the threshold since the plan was priced, and
+    partitioned operators re-pack their *remaining* batches mid-query
+    when observed batch output diverges from the priced worst case by
+    the same ratio.  ``None`` (the default) freezes plans: estimates
+    are never corrected and nothing re-plans.  Feedback requires
+    ``use_costs`` — the threshold measures the cost model's error, so
+    there is nothing to measure (or re-plan with) structurally.
     """
 
     division_method: str = "hash"
@@ -150,6 +164,7 @@ class PlannerOptions:
     partition_budget: int | None = None
     max_workers: int = 1
     backend: str = "memory"
+    replan_threshold: float | None = None
 
     def __post_init__(self) -> None:
         # Fail fast: apply_partitioning only runs on plans that contain
@@ -171,6 +186,19 @@ class PlannerOptions:
                 f"unknown storage backend {self.backend!r}; expected "
                 f"one of {', '.join(BACKEND_KINDS)}"
             )
+        if self.replan_threshold is not None:
+            if not self.replan_threshold > 1.0:
+                raise SchemaError(
+                    "replan_threshold is an error *ratio* and must be "
+                    "> 1 (or None to freeze plans), got "
+                    f"{self.replan_threshold}"
+                )
+            if not self.use_costs:
+                raise SchemaError(
+                    "replan_threshold needs cost-based planning: the "
+                    "threshold measures the cost model's estimation "
+                    "error, which use_costs=False disables"
+                )
 
 
 DEFAULT_OPTIONS = PlannerOptions()
