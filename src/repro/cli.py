@@ -90,10 +90,10 @@ def _session_options(args):
     """PlannerOptions from the shared session flags (None = defaults).
 
     The planner flags (``--partition-budget``, ``--max-workers``,
-    ``--no-costs``, ``--no-reorder-joins``, ``--no-partitions``) are
-    session-level: every subcommand that builds a session applies them
-    uniformly.  Contradictory combinations are rejected here, before
-    any work.
+    ``--no-costs``, ``--no-reorder-joins``, ``--no-partitions``,
+    ``--no-multiway``) are session-level: every subcommand that builds
+    a session applies them uniformly.  Contradictory combinations are
+    rejected here, before any work.
     """
     budget = getattr(args, "partition_budget", None)
     workers = getattr(args, "max_workers", None)
@@ -102,6 +102,7 @@ def _session_options(args):
     no_costs = bool(getattr(args, "no_costs", False))
     no_reorder = bool(getattr(args, "no_reorder_joins", False))
     no_partitions = bool(getattr(args, "no_partitions", False))
+    no_multiway = bool(getattr(args, "no_multiway", False))
     if replan is not None and no_costs:
         raise ReproError(
             "--replan-threshold needs cost-based planning (the "
@@ -129,7 +130,7 @@ def _session_options(args):
         and workers is None
         and backend is None
         and replan is None
-        and not (no_costs or no_reorder or no_partitions)
+        and not (no_costs or no_reorder or no_partitions or no_multiway)
     ):
         return None
     from repro.engine import PlannerOptions
@@ -140,6 +141,7 @@ def _session_options(args):
         use_costs=not no_costs,
         reorder_joins=not no_reorder,
         use_partitions=not no_partitions,
+        use_multiway=not no_multiway,
         partition_budget=budget,
         max_workers=1 if workers is None else workers,
         backend="memory" if backend is None else backend,
@@ -177,6 +179,12 @@ _SESSION_BOOL_FLAGS = (
         "--no-partitions",
         "never wrap operators in partitioned execution "
         "(contradicts --partition-budget)",
+    ),
+    (
+        "no_multiway",
+        "--no-multiway",
+        "never collapse an equi-join chain into the worst-case-"
+        "optimal multiway join (keep binary join plans)",
     ),
 )
 

@@ -14,6 +14,9 @@ algorithm one level down.  This package is the layer that acts on that:
 * :mod:`repro.engine.cost` — the cardinality/cost estimator: point
   estimates, sound upper bounds (AGM-style on equi-join chains), and
   cumulative operator costs;
+* :mod:`repro.engine.wcoj` — the worst-case-optimal generic join:
+  variable-at-a-time execution of cyclic equi-join chains within the
+  AGM fractional-edge-cover bound (``PlannerOptions.use_multiway``);
 * :mod:`repro.engine.planner` — structural recognition of division
   patterns plus cost-based operator choice and join ordering, with
   the structural rules as the zero-stats fallback;
@@ -49,7 +52,12 @@ from __future__ import annotations
 from repro.algebra.ast import Expr
 from repro.algebra.evaluator import Relation
 from repro.data.database import Database
-from repro.engine.cost import CostModel, Estimate, estimate_plan
+from repro.engine.cost import (
+    CostModel,
+    Estimate,
+    estimate_plan,
+    fractional_edge_cover,
+)
 from repro.engine.executor import (
     ExecutionStats,
     Executor,
@@ -71,7 +79,13 @@ from repro.engine.partition import (
     in_flight_upper,
     planned_partitions,
 )
-from repro.engine.plan import DivisionOp, ParallelOp, PartitionedOp, PlanNode
+from repro.engine.plan import (
+    DivisionOp,
+    MultiwayJoinOp,
+    ParallelOp,
+    PartitionedOp,
+    PlanNode,
+)
 from repro.engine.planner import (
     DEFAULT_OPTIONS,
     Planner,
@@ -81,6 +95,7 @@ from repro.engine.planner import (
     plan_expression,
 )
 from repro.engine.stats import FeedbackLedger, StatsCatalog, feedback_key
+from repro.engine.wcoj import WcojRun
 
 __all__ = [
     "DEFAULT_OPTIONS",
@@ -92,6 +107,7 @@ __all__ = [
     "Executor",
     "FeedbackLedger",
     "IndexCache",
+    "MultiwayJoinOp",
     "ParallelOp",
     "ParallelRun",
     "PartitionRun",
@@ -101,6 +117,7 @@ __all__ = [
     "PlannerOptions",
     "ResultCache",
     "StatsCatalog",
+    "WcojRun",
     "WorkerSlice",
     "apply_parallelism",
     "apply_partitioning",
@@ -109,6 +126,7 @@ __all__ = [
     "execute_plan",
     "explain",
     "feedback_key",
+    "fractional_edge_cover",
     "in_flight_upper",
     "match_division",
     "plan_expression",

@@ -32,7 +32,6 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from itertools import product
 
 from repro.engine.plan import (
     DifferenceOp,
@@ -41,6 +40,7 @@ from repro.engine.plan import (
     GroupByOp,
     HashJoinOp,
     HashSemijoinOp,
+    MultiwayJoinOp,
     NestedLoopJoinOp,
     NestedLoopSemijoinOp,
     ParallelOp,
@@ -62,10 +62,12 @@ INEQUALITY_SELECTIVITY = 1.0 / 3.0
 #: this many rows with ``sqrt(rows)`` distinct values per column.
 DEFAULT_ROWS = 1000.0
 
-#: Join chains with at most this many base-relation leaves get the
-#: enumerated fractional-edge-cover AGM bound; longer chains fall back
-#: to the (still sound) pairwise product bound.
-AGM_MAX_EDGES = 7
+#: Join subtrees with at most this many base-relation leaves get the
+#: LP-solved fractional-edge-cover AGM bound; longer chains fall back
+#: to the (still sound) pairwise product bound.  The cap bounds only
+#: the flattening/solve work per node — the LP itself is polynomial —
+#: and sits above the planner's ``REORDER_MAX_LEAVES``.
+AGM_MAX_EDGES = 12
 
 #: Per-row surcharge for crossing the process boundary as pickled
 #: fragments (a row out to a worker, a result row back).  Calibrated
@@ -255,6 +257,8 @@ class CostModel:
             return self._tag(node)
         if isinstance(node, (HashJoinOp, NestedLoopJoinOp)):
             return self._join(node)
+        if isinstance(node, MultiwayJoinOp):
+            return self._multiway(node)
         if isinstance(node, (HashSemijoinOp, NestedLoopSemijoinOp)):
             return self._semijoin(node)
         if isinstance(node, DivisionOp):
@@ -598,13 +602,13 @@ class CostModel:
         cardinalities must be exact) plus the equality atoms between
         them, builds the join hypergraph (variables = equivalence
         classes of equated columns, hyperedges = leaves), and returns
-        ``Π |R_e|^{x_e}`` for the best feasible fractional edge cover
-        ``x`` found by enumerating half-integral assignments.  Any
-        feasible cover yields a sound bound (AGM); half-integral
-        enumeration finds the optimum on the graph-shaped (≤ binary
-        leaf) instances that positional conditions produce.  Non-
-        equality atoms only filter the output, so ignoring them keeps
-        the bound sound.
+        ``Π |R_e|^{x_e}`` for the optimal fractional edge cover ``x``
+        from :func:`fractional_edge_cover` — solved exactly for
+        arbitrary (including cyclic) hypergraphs, where the historical
+        implementation enumerated half-integral covers and silently
+        kept the product bound on anything the enumeration missed.
+        Non-equality atoms only filter the output, so ignoring them
+        keeps the bound sound.
         """
         if self.catalog is None:
             return None
@@ -614,50 +618,89 @@ class CostModel:
         leaves, atoms = flat
         if len(leaves) < 2 or len(leaves) > AGM_MAX_EDGES:
             return None
-        # Union-find over global column indexes: '=' atoms merge.
-        offsets, total = [], 0
-        for leaf in leaves:
-            offsets.append(total)
-            total += leaf.arity
-        parent = list(range(total))
+        from repro.engine.wcoj import variable_layout
 
-        def find(a: int) -> int:
-            while parent[a] != a:
-                parent[a] = parent[parent[a]]
-                a = parent[a]
-            return a
+        attrs = variable_layout(
+            [leaf.arity for leaf in leaves],
+            [atom for atom in atoms if atom[1] == "="],
+        )
+        edges = [frozenset(row) for row in attrs]
+        if not all(edges):  # an arity-0 leaf: no hyperedge to weight
+            return None
+        cards = [
+            float(self.catalog.relation(leaf.expr.name).rows)
+            for leaf in leaves
+        ]
+        bound, __ = fractional_edge_cover(edges, cards)
+        return bound
 
-        for gi, op, gj in atoms:
-            if op == "=":
-                parent[find(gi)] = find(gj)
-        variables = {find(col) for col in range(total)}
-        edges = []
-        cards = []
-        for index, leaf in enumerate(leaves):
-            start = offsets[index]
-            edges.append(
-                frozenset(
-                    find(col) for col in range(start, start + leaf.arity)
-                )
-            )
-            cards.append(
-                float(self.catalog.relation(leaf.expr.name).rows)
-            )
-        best = math.prod(cards)  # the all-ones cover, always feasible
-        for assignment in product((0.0, 0.5, 1.0), repeat=len(edges)):
-            covered: dict[int, float] = {v: 0.0 for v in variables}
-            for weight, edge in zip(assignment, edges):
-                if weight:
-                    for variable in edge:
-                        covered[variable] += weight
-            if all(total >= 1.0 for total in covered.values()):
-                bound = math.prod(
-                    card**weight
-                    for card, weight in zip(cards, assignment)
-                    if weight
-                )
-                best = min(best, bound)
-        return best
+    # ------------------------------------------------------------------
+    # Multiway (worst-case-optimal) join
+    # ------------------------------------------------------------------
+
+    def _multiway(self, node: MultiwayJoinOp) -> Estimate:
+        """Estimate for a generic-join operator (:mod:`repro.engine.wcoj`).
+
+        The sound upper bound is the AGM bound *recomputed from the
+        current statistics* (never the planner-stamped ``node.agm``,
+        which may describe an older version token), intersected with
+        the input-upper product.  The point estimate mirrors the
+        binary chain's textbook rule: the input product discounted by
+        one equality selectivity ``1/max(d)`` per extra occurrence of
+        each join variable.  Cost is input production plus one trie
+        build per input plus the emitted rows — the generic join does
+        no other materialization.
+        """
+        children = [self.estimate(child) for child in node.relations]
+        sound = all(child.sound for child in children)
+        upper = 1.0
+        for child in children:
+            upper = _mul(upper, child.upper)
+        if sound:
+            agm = self._multiway_agm(node)
+            if agm is not None:
+                upper = min(upper, agm)
+        flat_distinct = [d for child in children for d in child.distinct]
+        occurrences: dict[int, list[int]] = {}
+        position = 0
+        for attrs_k in node.attrs:
+            for variable in attrs_k:
+                occurrences.setdefault(variable, []).append(position)
+                position += 1
+        rows = 1.0
+        for child in children:
+            rows *= child.rows
+        for positions in occurrences.values():
+            if len(positions) > 1:
+                d = max(max(flat_distinct[p] for p in positions), 1.0)
+                rows /= d ** (len(positions) - 1)
+        inputs = sum(child.rows for child in children)
+        out = min(rows, upper)
+        cost = sum(child.cost for child in children) + inputs + out
+        distinct = _cap_distinct(tuple(flat_distinct), upper)
+        return Estimate(rows, upper, cost, distinct, sound)
+
+    def _multiway_agm(self, node: MultiwayJoinOp) -> float | None:
+        """The node's AGM bound against *current* statistics, or None.
+
+        Needs exact input cardinalities, so only all-``ScanOp`` inputs
+        qualify (exactly the shape the planner collapses).
+        """
+        if self.catalog is None:
+            return None
+        if not all(
+            isinstance(child, ScanOp) for child in node.relations
+        ):
+            return None
+        edges = [frozenset(row) for row in node.attrs]
+        if not all(edges):
+            return None
+        cards = [
+            float(self.catalog.relation(child.expr.name).rows)
+            for child in node.relations
+        ]
+        bound, __ = fractional_edge_cover(edges, cards)
+        return bound
 
 
 def _sketch_join_bound(probe, i: int, build, j: int) -> float:
@@ -751,6 +794,150 @@ def _flatten_join(
     except NotFlattenable:
         return None
     return leaves, atoms
+
+
+def fractional_edge_cover(
+    edges, cards
+) -> tuple[float, tuple[float, ...]]:
+    """Optimal fractional edge cover of a join hypergraph (AGM bound).
+
+    ``edges[k]`` is the set of join variables relation ``k`` covers
+    and ``cards[k]`` its exact cardinality.  Returns ``(bound,
+    weights)`` where ``weights`` is a **feasible** fractional edge
+    cover ``x`` (every variable covered by total weight ≥ 1, ``x ≥
+    0``) minimizing the AGM bound ``Π cards[k]^{x_k}`` — solved as a
+    linear program in the exponents (minimize ``Σ x_k·log cards[k]``)
+    for **arbitrary** hypergraphs: cyclic shapes get their true
+    optimum (the triangle's all-½ cover and its ``n^{3/2}`` bound,
+    the 4-cycle's ``n²``) instead of the silent product-bound
+    fallback the pre-LP implementation applied to anything its
+    half-integral enumeration missed.  Malformed hypergraphs raise
+    :class:`~repro.errors.SchemaError`.
+
+    Soundness never rests on LP optimality: the returned cover is
+    explicitly checked (and numerically repaired) for feasibility,
+    and the all-ones cover — the plain cardinality product — is the
+    comparison floor, so ``Π cards^x`` is a sound output bound even
+    if the pivoting were wrong.  Tightness *is* property-tested
+    against exhaustive half-integral enumeration in
+    ``tests/test_engine_cost.py``.
+    """
+    edge_sets = [frozenset(edge) for edge in edges]
+    sizes = [float(card) for card in cards]
+    if not edge_sets:
+        raise SchemaError(
+            "fractional edge cover: the hypergraph has no edges"
+        )
+    if len(edge_sets) != len(sizes):
+        raise SchemaError(
+            "fractional edge cover: need one cardinality per edge; "
+            f"got {len(sizes)} for {len(edge_sets)} edges"
+        )
+    for edge in edge_sets:
+        if not edge:
+            raise SchemaError(
+                "fractional edge cover: empty hyperedge (an arity-0 "
+                "relation covers no variable)"
+            )
+    for size in sizes:
+        if math.isnan(size) or size < 0.0 or math.isinf(size):
+            raise SchemaError(
+                "fractional edge cover: cardinalities must be finite "
+                f"and >= 0, got {size}"
+            )
+    count = len(edge_sets)
+    if any(size == 0.0 for size in sizes):
+        # An empty relation empties the join: any feasible cover
+        # putting weight on it prices the bound at 0.
+        return 0.0, (1.0,) * count
+    variables = sorted(set().union(*edge_sets))
+    weights = [math.log(max(size, 1.0)) for size in sizes]
+    candidates: list[tuple[float, ...]] = [(1.0,) * count]
+    solved = _edge_cover_lp(edge_sets, variables, weights)
+    if solved is not None:
+        candidates.append(solved)
+    best_bound, best_cover = _INF, candidates[0]
+    for cover in candidates:
+        cover = tuple(max(weight, 0.0) for weight in cover)
+        coverage = min(
+            sum(w for w, e in zip(cover, edge_sets) if v in e)
+            for v in variables
+        )
+        if coverage <= 0.0:
+            continue  # degenerate LP output: not repairable, skip
+        if coverage < 1.0:  # numerical shortfall: scale up (stays sound)
+            cover = tuple(w / coverage for w in cover)
+        bound = math.prod(
+            size**w for size, w in zip(sizes, cover) if w > 0.0
+        )
+        if bound < best_bound:
+            best_bound, best_cover = bound, cover
+    return best_bound, best_cover
+
+
+def _edge_cover_lp(edge_sets, variables, weights):
+    """Solve ``min w·x`` s.t. ``Ax ≥ 1, x ≥ 0`` (A = var×edge incidence).
+
+    Plain dense simplex on the **dual** — maximize ``Σ y_v`` subject
+    to ``Σ_{v∈e} y_v ≤ w_e``, ``y ≥ 0`` — which starts feasible at
+    ``y = 0`` (``w ≥ 0``), so no two-phase setup is needed; Bland's
+    rule (lowest-index entering column, lowest-index leaving basis
+    variable on ratio ties) guarantees termination.  At the optimum
+    the primal cover is read off the objective row under the slack
+    columns (strong duality).  Returns None if the pivot loop hits
+    its iteration cap — callers then keep the all-ones cover, which
+    costs tightness, not soundness.
+    """
+    n, m = len(variables), len(edge_sets)
+    index = {variable: i for i, variable in enumerate(variables)}
+    rows: list[list[float]] = []
+    for e, (edge, weight) in enumerate(zip(edge_sets, weights)):
+        row = [0.0] * (n + m + 1)
+        for variable in edge:
+            row[index[variable]] = 1.0
+        row[n + e] = 1.0
+        row[-1] = weight
+        rows.append(row)
+    objective = [-1.0] * n + [0.0] * (m + 1)
+    basis = list(range(n, n + m))
+    eps = 1e-9
+    for __ in range(100 * (n + m + 1)):
+        entering = next(
+            (j for j in range(n + m) if objective[j] < -eps), None
+        )
+        if entering is None:
+            return tuple(objective[n + e] for e in range(m))
+        leaving, best = None, None
+        for i, row in enumerate(rows):
+            coefficient = row[entering]
+            if coefficient > eps:
+                ratio = row[-1] / coefficient
+                if (
+                    best is None
+                    or ratio < best - eps
+                    or (ratio <= best + eps and basis[i] < basis[leaving])
+                ):
+                    best, leaving = ratio, i
+        if leaving is None:  # unbounded dual: an uncoverable variable
+            return None
+        pivot = rows[leaving][entering]
+        rows[leaving] = [value / pivot for value in rows[leaving]]
+        pivot_row = rows[leaving]
+        for i, row in enumerate(rows):
+            if i != leaving and row[entering] != 0.0:
+                factor = row[entering]
+                rows[i] = [
+                    value - factor * p
+                    for value, p in zip(row, pivot_row)
+                ]
+        factor = objective[entering]
+        if factor != 0.0:
+            objective = [
+                value - factor * p
+                for value, p in zip(objective, pivot_row)
+            ]
+        basis[leaving] = entering
+    return None
 
 
 def estimate_plan(

@@ -48,6 +48,7 @@ from repro.engine.plan import (
     GroupByOp,
     HashJoinOp,
     HashSemijoinOp,
+    MultiwayJoinOp,
     NestedLoopJoinOp,
     NestedLoopSemijoinOp,
     ParallelOp,
@@ -83,6 +84,10 @@ class ExecutionStats:
     #: counts, per-batch rows in flight) — see
     #: :class:`repro.engine.partition.PartitionRun`.
     partition_runs: dict[PlanNode, object] = field(default_factory=dict)
+    #: Per-``MultiwayJoinOp`` generic-join records (AGM bound vs actual
+    #: output, intersection work) — see
+    #: :class:`repro.engine.wcoj.WcojRun`.
+    wcoj_runs: dict[PlanNode, object] = field(default_factory=dict)
     indexes_built: int = 0
     index_reuses: int = 0
 
@@ -135,6 +140,8 @@ class ExecutionStats:
             f" (reused {self.index_reuses}x)",
         ]
         for node, run in self.partition_runs.items():
+            lines.append(f"{node.label()}: {run.render()}")
+        for node, run in self.wcoj_runs.items():
             lines.append(f"{node.label()}: {run.render()}")
         ordered = sorted(
             self.node_rows.items(), key=lambda kv: -kv[1]
@@ -207,6 +214,39 @@ class IndexCache:
             index[tuple(row[p - 1] for p in positions)].append(row)
             count += 1
         built = dict(index)
+        self._indexes[cache_key] = (built, count)
+        self.builds += 1
+        self.rows_indexed += count
+        while (
+            self.rows_indexed > self.row_budget and len(self._indexes) > 1
+        ):
+            __, (___, evicted_rows) = self._indexes.popitem(last=False)
+            self.rows_indexed -= evicted_rows
+            self.evictions += 1
+        return built
+
+    def trie_for(
+        self,
+        key: object,
+        rows: Iterable[Row],
+        columns_by_variable: tuple[tuple[int, ...], ...],
+    ) -> dict:
+        """Build/fetch a generic-join trie (:func:`repro.engine.wcoj.
+        build_trie`) under the same LRU row budget as flat indexes.
+
+        The cache key embeds the trie layout behind a ``"trie"``
+        sentinel, so a trie and a flat index over the same logical
+        input and columns never collide — their payload shapes differ.
+        """
+        cache_key = (key, ("trie",) + columns_by_variable)
+        cached = self._indexes.get(cache_key)
+        if cached is not None:
+            self._indexes.move_to_end(cache_key)
+            self.reuses += 1
+            return cached[0]
+        from repro.engine.wcoj import build_trie
+
+        built, count = build_trie(rows, columns_by_variable)
         self._indexes[cache_key] = (built, count)
         self.builds += 1
         self.rows_indexed += count
@@ -750,6 +790,8 @@ class Executor:
             return self._hash_join(node)
         if isinstance(node, NestedLoopJoinOp):
             return self._nested_loop_join(node)
+        if isinstance(node, MultiwayJoinOp):
+            return self._multiway(node)
         if isinstance(node, HashSemijoinOp):
             return self._hash_semijoin(node)
         if isinstance(node, NestedLoopSemijoinOp):
@@ -809,6 +851,11 @@ class Executor:
             for rrow in right:
                 if node.cond.holds(lrow, rrow):
                     yield lrow + rrow
+
+    def _multiway(self, node: MultiwayJoinOp) -> Iterable[Row]:
+        from repro.engine.wcoj import run_multiway
+
+        return run_multiway(self, node)
 
     def _hash_semijoin(self, node: HashSemijoinOp) -> Iterator[Row]:
         index, left_positions, rest = self._probe_index(node, node.cond)

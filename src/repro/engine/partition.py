@@ -93,6 +93,7 @@ from repro.engine.plan import (
     DivisionOp,
     HashJoinOp,
     HashSemijoinOp,
+    MultiwayJoinOp,
     NestedLoopSemijoinOp,
     PartitionedOp,
     PlanNode,
@@ -197,6 +198,23 @@ def apply_partitioning(plan: PlanNode, cost_model, budget: int) -> PlanNode:
                 rebuilt = PartitionedOp(
                     rebuilt, partitions, budget, note=note
                 )
+        elif isinstance(rebuilt, MultiwayJoinOp):
+            # Generic joins batch nothing (working set = inputs +
+            # certified output), so an over-budget one is annotated,
+            # never wrapped — the planner normally refuses the
+            # collapse first, but a plan built by hand (or statistics
+            # moving after planning) can still land here.
+            upper = in_flight_upper(cost_model, rebuilt)
+            if math.isfinite(upper) and upper > budget:
+                extra = (
+                    f"in-flight ub {upper:.0f} > budget {budget}: "
+                    "refusing PartitionedOp fusion — multiway join "
+                    "runs one-shot (inputs + AGM-bounded output)"
+                )
+                merged = (
+                    f"{rebuilt.note}; {extra}" if rebuilt.note else extra
+                )
+                rebuilt = replace(rebuilt, note=merged)
         memo[id(node)] = rebuilt
         return rebuilt
 

@@ -462,12 +462,90 @@ class DivisionOp(PlanNode):
         return f"Division[{self.method},{kind},empty={self.empty_divisor}]"
 
 
+@dataclass(frozen=True)
+class MultiwayJoinOp(PlanNode):
+    """Worst-case-optimal k-way equi-join (generic join, see
+    :mod:`repro.engine.wcoj`).
+
+    Joins all ``relations`` at once, variable by variable, instead of
+    two at a time: ``attrs[k][c]`` is the join-variable id of input
+    ``k``'s column ``c`` (variables are the equivalence classes of
+    equated columns across the collapsed binary chain) and ``order``
+    is the variable elimination order.  ``agm`` records the
+    fractional-edge-cover (AGM) output bound the planner certified
+    when collapsing — the figure the operator's materialization is
+    bounded by, rendered in the label for ``explain``.
+
+    Output columns are the concatenation of the input columns in
+    written order, exactly what the collapsed binary join tree would
+    emit, so the node is a drop-in replacement for the chain.
+
+    Deliberately **not** partitionable: the generic join never
+    materializes an intermediate to batch — its working set is inputs
+    plus certified output — so this PR runs it one-shot only and
+    :func:`~repro.engine.partition.apply_partitioning` annotates
+    instead of wrapping (the planner refuses the collapse outright
+    when the certified working set would exceed a partition budget).
+    """
+
+    relations: tuple[PlanNode, ...]
+    attrs: tuple[tuple[int, ...], ...]
+    order: tuple[int, ...]
+    agm: float
+    expr: Expr
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        if len(self.relations) < 2:
+            raise SchemaError("MultiwayJoinOp needs at least two inputs")
+        if len(self.attrs) != len(self.relations):
+            raise SchemaError(
+                "MultiwayJoinOp needs one attrs row per input; got "
+                f"{len(self.attrs)} rows for {len(self.relations)} inputs"
+            )
+        for child, row in zip(self.relations, self.attrs):
+            if len(row) != child.arity:
+                raise ArityError(
+                    "MultiwayJoinOp attrs row does not match the input "
+                    f"arity: {len(row)} variables for arity {child.arity}"
+                )
+        variables = {v for row in self.attrs for v in row}
+        if len(self.order) != len(variables) or set(self.order) != variables:
+            raise SchemaError(
+                "MultiwayJoinOp order must be a permutation of the "
+                f"join variables {sorted(variables)}; got {self.order}"
+            )
+        if not self.agm >= 0.0:  # also rejects NaN
+            raise SchemaError(
+                f"MultiwayJoinOp needs an AGM bound >= 0, got {self.agm}"
+            )
+        if self.expr.arity != sum(len(row) for row in self.attrs):
+            raise ArityError(
+                "MultiwayJoinOp logical arity must equal the total "
+                f"input arity {sum(len(row) for row in self.attrs)}, "
+                f"got {self.expr.arity}"
+            )
+
+    @property
+    def logical(self) -> Expr:
+        return self.expr
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return self.relations
+
+    def label(self) -> str:
+        order = ">".join(str(v) for v in self.order)
+        return f"MultiwayJoin[vars={order},agm={self.agm:g}]"
+
+
 #: Operator types :class:`PartitionedOp` may wrap.  Hash (semi)joins
 #: partition both sides on their equality keys; nested-loop semijoins
 #: batch the left side against a replicated right; division partitions
 #: the dividend by candidate with a replicated divisor.  (Nested-loop
 #: *joins* are excluded: a batch's output is not bounded by its input
-#: fragment, so no per-batch budget could be certified.)
+#: fragment, so no per-batch budget could be certified; multiway joins
+#: are excluded because they never materialize an intermediate to
+#: batch — see :class:`MultiwayJoinOp`.)
 PARTITIONABLE_OPS = ()  # filled below, after the classes exist
 
 
@@ -660,6 +738,7 @@ for _op in (
     HashSemijoinOp,
     NestedLoopSemijoinOp,
     DivisionOp,
+    MultiwayJoinOp,
     PartitionedOp,
     ParallelOp,
     GroupByOp,

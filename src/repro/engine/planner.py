@@ -41,7 +41,15 @@ Routing rules (documented in ``docs/engine.md``):
    a greedy smallest-intermediate-first order is built left-deep, and
    the reordered plan — wrapped in a projection restoring the original
    column order — replaces the as-written order when its estimated
-   cost is strictly lower.
+   cost is strictly lower.  When the chain is a pure equi-join over
+   base relations and its AGM fractional-edge-cover bound
+   (:func:`repro.engine.cost.fractional_edge_cover`) beats the best
+   binary plan's sound intermediate bound — the cyclic/triangle
+   regime where every binary order is provably quadratically worse —
+   the whole chain collapses into one worst-case-optimal
+   :class:`~repro.engine.plan.MultiwayJoinOp` (gated by
+   ``PlannerOptions.use_multiway`` / CLI ``--no-multiway``;
+   zero-stats plans always keep the binary chain).
 5. **Selections are pushed toward the leaves** first (reusing
    :func:`repro.algebra.optimize.push_selections`), then fused into
    single :class:`~repro.engine.plan.FilterOp` nodes.
@@ -63,6 +71,7 @@ model's per-operator estimates.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.algebra.ast import (
@@ -86,6 +95,7 @@ from repro.engine.plan import (
     GroupByOp,
     HashJoinOp,
     HashSemijoinOp,
+    MultiwayJoinOp,
     NestedLoopJoinOp,
     NestedLoopSemijoinOp,
     PlanNode,
@@ -113,6 +123,15 @@ class PlannerOptions:
     ``use_costs`` gates every cost-based decision (it has no effect
     unless the planner also has a statistics catalog) and
     ``reorder_joins`` gates the ≥3-way join-order search specifically.
+
+    ``use_multiway`` (default on) lets the planner collapse a pure
+    equi-join chain over base relations into one worst-case-optimal
+    :class:`~repro.engine.plan.MultiwayJoinOp` when the chain's AGM
+    fractional-edge-cover bound beats the best binary plan's sound
+    intermediate bound.  The collapse is a cost-based decision: it
+    needs statistics, so zero-stats planning — and ``use_multiway=
+    False``, which skips the code path entirely — keeps the binary
+    chain byte-identically.
 
     ``partition_budget`` is the rows-in-flight cap for partitioned
     execution: when set (and ``use_partitions`` is on and statistics
@@ -165,6 +184,7 @@ class PlannerOptions:
     max_workers: int = 1
     backend: str = "memory"
     replan_threshold: float | None = None
+    use_multiway: bool = True
 
     def __post_init__(self) -> None:
         # Fail fast: apply_partitioning only runs on plans that contain
@@ -631,13 +651,18 @@ class Planner:
 
     def _join(self, expr: Join, left: PlanNode, right: PlanNode) -> PlanNode:
         as_written = self._join_operator(expr, left, right, expr.cond)
+        best = as_written
         if self._costed() and self.options.reorder_joins:
             reordered = self._reorder_join(expr)
             if reordered is not None and (
-                self._cost(reordered) < self._cost(as_written)
+                self._cost(reordered) < self._cost(best)
             ):
-                return reordered
-        return as_written
+                best = reordered
+        if self._costed() and self.options.use_multiway:
+            multiway = self._multiway_join(expr, best)
+            if multiway is not None:
+                return multiway
+        return best
 
     def _join_operator(
         self, expr: Expr, left: PlanNode, right: PlanNode, cond: Condition
@@ -790,6 +815,97 @@ class Planner:
             "intermediates); projection restores the written column "
             "order",
         )
+
+    # -- worst-case-optimal multiway collapse ---------------------------
+
+    def _multiway_join(self, expr: Join, binary: PlanNode) -> PlanNode | None:
+        """Collapse an equi-join chain into one generic-join operator.
+
+        Applies when the maximal join subtree at ``expr`` is a pure
+        equality join over 3..``REORDER_MAX_LEAVES`` base relations
+        (``ScanOp`` leaves — the AGM bound needs exact cardinalities)
+        and the chain's fractional-edge-cover bound
+        (:func:`repro.engine.cost.fractional_edge_cover`) is strictly
+        below the best binary candidate's *peak sound intermediate
+        bound* — the quantity the worst-case argument compares: every
+        binary plan must materialize its intermediates, while the
+        generic join materializes nothing beyond its output, which the
+        AGM bound caps.  Returns None (keep the binary plan) whenever
+        the shape doesn't qualify, the binary plan has no certified
+        intermediate bound to beat, or a partition budget is set that
+        the one-shot multiway execution could exceed — binary joins
+        can run under :class:`~repro.engine.plan.PartitionedOp`,
+        the multiway operator deliberately cannot (this PR).
+        """
+        leaves, __, atoms = _flatten_logical_join(expr)
+        count = len(leaves)
+        if not 3 <= count <= self.REORDER_MAX_LEAVES:
+            return None
+        if not atoms or any(op != "=" for __g, op, __h in atoms):
+            return None
+        plans = [self._plan(leaf) for leaf in leaves]
+        if not all(isinstance(plan, ScanOp) for plan in plans):
+            return None
+        from repro.engine.cost import _fmt, fractional_edge_cover
+        from repro.engine.wcoj import choose_order, variable_layout
+
+        attrs = variable_layout([leaf.arity for leaf in leaves], atoms)
+        edges = [frozenset(row) for row in attrs]
+        if not all(edges):  # an arity-0 leaf carries no hyperedge
+            return None
+        cards = [
+            float(self.catalog.relation(plan.expr.name).rows)
+            for plan in plans
+        ]
+        agm, cover = fractional_edge_cover(edges, cards)
+        peak = self._binary_intermediate_bound(binary)
+        if peak is None or not agm < peak:
+            return None
+        note = (
+            f"worst-case-optimal: AGM bound {_fmt(agm)} (fractional "
+            f"cover {'/'.join(_fmt(x) for x in cover)}) beats the "
+            f"binary plan's peak intermediate bound {_fmt(peak)}"
+        )
+        budget = self.options.partition_budget
+        if budget is not None and self.options.use_partitions:
+            if agm + sum(cards) > budget:
+                # The binary chain can run partitioned under the
+                # budget; the one-shot generic join cannot.
+                return None
+            note += (
+                "; one-shot only: multiway join refuses PartitionedOp "
+                "fusion"
+            )
+        return MultiwayJoinOp(
+            tuple(plans),
+            attrs,
+            choose_order(attrs, cards),
+            agm,
+            expr,
+            note=note,
+        )
+
+    def _binary_intermediate_bound(self, plan: PlanNode) -> float | None:
+        """Peak sound row bound over a binary plan's join operators.
+
+        The multiway gate's comparison target: the largest certified
+        ``upper`` any join node in ``plan`` may materialize.  Returns
+        None — the gate then keeps the binary plan — when any join
+        node's bound is unsound or infinite, because "AGM beats an
+        uncertified guess" is not a certificate.
+        """
+        peak = None
+        stack = [plan]
+        while stack:
+            node = stack.pop()
+            stack.extend(node.children())
+            if isinstance(node, (HashJoinOp, NestedLoopJoinOp)):
+                estimate = self.cost_model.estimate(node)
+                if not estimate.sound or not math.isfinite(estimate.upper):
+                    return None
+                if peak is None or estimate.upper > peak:
+                    peak = estimate.upper
+        return peak
 
     def _semijoin(
         self,

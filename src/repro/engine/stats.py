@@ -302,7 +302,10 @@ def feedback_key(node) -> tuple | None:
     the one-shot operator would.  Scans are excluded (their statistics
     are exact; estimate==actual pairs would only dilute the ledger) and
     so are the cheap structural operators whose estimates never flip a
-    plan on their own.
+    plan on their own.  Multiway joins are deliberately excluded too:
+    their gate compares *sound* AGM bounds (which feedback corrections
+    never alter), and their label embeds the data-dependent AGM figure,
+    so a ledger entry would never generalize across contents versions.
     """
     from repro.engine.plan import (
         DivisionOp,

@@ -1,0 +1,335 @@
+"""Worst-case-optimal multiway join: generic join over attribute tries.
+
+Binary join plans are provably quadratically worse than the AGM
+fractional-edge-cover bound on cyclic queries — the triangle
+``E(a,b) ⋈ F(b,c) ⋈ G(c,a)`` has output (and AGM bound) ``O(n^{3/2})``
+while every binary plan materializes an ``Θ(n²)`` intermediate on
+skewed inputs.  This module is the execution side of the engine's
+answer (Ngo–Porat–Ré–Rudra's *generic join*, the leapfrog-triejoin
+family): instead of joining relation-by-relation, join
+**variable-by-variable**.
+
+The planner hands over a :class:`~repro.engine.plan.MultiwayJoinOp`
+describing the join hypergraph: ``attrs[k][c]`` names the join
+variable held by column ``c`` of input ``k`` (variables are the
+union-find classes of equated columns), and ``order`` fixes a global
+variable elimination order.  Execution then
+
+1. builds one **trie** per input — nested hash maps keyed by that
+   input's variables sorted in the global order (cached in the
+   executor's :class:`~repro.engine.executor.IndexCache`, so repeated
+   queries against unchanged contents rebuild nothing);
+2. recursively binds variables in order: at each depth the candidate
+   values are the intersection of the current trie nodes of every
+   input containing the variable, enumerated from the smallest
+   candidate set and hash-probed into the others (the "min-set
+   iteration" that makes the generic-join runtime bound go through);
+3. reconstructs output rows from complete bindings — every column of
+   every input is some variable, so a full binding *is* the
+   concatenated output row, and no intermediate tuple is ever
+   materialized.
+
+The only materialized state is the inputs (tries) and the accumulated
+output, whose size the AGM bound certifies — the soundness property
+``tests/test_engine_wcoj.py`` asserts via the :class:`WcojRun` record
+each execution leaves in :class:`~repro.engine.executor.
+ExecutionStats`.
+
+Correctness notes the implementation leans on:
+
+* columns of one input equated *with each other* (through atom
+  transitivity) share a variable; trie insertion drops rows whose
+  duplicated columns disagree, which is exactly the implied
+  self-filter;
+* distinct rows of an input always differ on some variable (every
+  column is a variable), so a complete binding matches at most one
+  row per input and distinct bindings yield distinct output rows —
+  the enumeration is duplicate-free without a dedup pass;
+* each input's variables sorted by global order rank align its trie
+  depth with the elimination order: when the recursion reaches a
+  variable, every participating input's cursor is a dict keyed by
+  exactly that variable's values.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.data.database import Row
+from repro.errors import SchemaError
+
+__all__ = [
+    "WcojRun",
+    "build_trie",
+    "choose_order",
+    "generic_join",
+    "leaf_trie_layout",
+    "run_multiway",
+    "variable_layout",
+]
+
+
+def variable_layout(
+    arities: Sequence[int], atoms: Iterable[tuple[int, str, int]]
+) -> tuple[tuple[int, ...], ...]:
+    """Join variables from equated global columns, one row per input.
+
+    ``atoms`` are ``(left_global, op, right_global)`` triples over the
+    concatenated column space (the output of
+    :func:`repro.engine.cost.flatten_join_tree`); equality atoms merge
+    their columns into one variable, transitively.  Returns
+    ``attrs`` with ``attrs[k][c]`` the variable id of input ``k``'s
+    column ``c``; ids are dense and numbered by first occurrence in
+    global column order, so the layout is deterministic.
+
+    Non-equality atoms are rejected: the generic join binds variables
+    to *equal* values only, so an order/inequality atom has no
+    variable reading — callers must keep such chains binary.
+    """
+    offsets, total = [], 0
+    for arity in arities:
+        offsets.append(total)
+        total += arity
+    parent = list(range(total))
+
+    def find(a: int) -> int:
+        while parent[a] != a:
+            parent[a] = parent[parent[a]]
+            a = parent[a]
+        return a
+
+    for gi, op, gj in atoms:
+        if op != "=":
+            raise SchemaError(
+                "multiway join variables need pure equality atoms; "
+                f"got {op!r}"
+            )
+        parent[find(gi)] = find(gj)
+    ids: dict[int, int] = {}
+    assigned = []
+    for column in range(total):
+        root = find(column)
+        if root not in ids:
+            ids[root] = len(ids)
+        assigned.append(ids[root])
+    return tuple(
+        tuple(assigned[offsets[k] + c] for c in range(arities[k]))
+        for k in range(len(arities))
+    )
+
+
+def choose_order(
+    attrs: Sequence[Sequence[int]], cards: Sequence[float]
+) -> tuple[int, ...]:
+    """A deterministic variable elimination order for :func:`generic_join`.
+
+    Any order is correct; this one intersects the most *shared*
+    variables first (they prune hardest), breaking ties toward the
+    variable whose smallest containing input is smallest (cheap
+    candidate sets), then by variable id.  Purely a heuristic — the
+    worst-case bound holds for every order.
+    """
+    containing: dict[int, int] = {}
+    smallest: dict[int, float] = {}
+    for k, row in enumerate(attrs):
+        for variable in set(row):
+            containing[variable] = containing.get(variable, 0) + 1
+            smallest[variable] = min(
+                smallest.get(variable, math.inf), cards[k]
+            )
+    return tuple(
+        sorted(
+            containing,
+            key=lambda v: (-containing[v], smallest[v], v),
+        )
+    )
+
+
+def leaf_trie_layout(
+    attrs_k: Sequence[int], order: Sequence[int]
+) -> tuple[tuple[int, ...], tuple[tuple[int, ...], ...]]:
+    """One input's trie plan: ``(variables, columns_by_variable)``.
+
+    ``variables`` is the input's distinct variable ids sorted by their
+    rank in the global ``order`` (the trie's level sequence);
+    ``columns_by_variable`` aligns with it and lists every 0-based
+    column of the input holding that variable (several when atoms
+    equate columns of the same input — insertion enforces they agree).
+    """
+    rank = {variable: i for i, variable in enumerate(order)}
+    variables = tuple(sorted(set(attrs_k), key=lambda v: rank[v]))
+    columns = tuple(
+        tuple(c for c, v in enumerate(attrs_k) if v == variable)
+        for variable in variables
+    )
+    return variables, columns
+
+
+def build_trie(
+    rows: Iterable[Row], columns_by_variable: Sequence[Sequence[int]]
+) -> tuple[dict, int]:
+    """Nested hash maps over ``rows``, one level per variable.
+
+    Level ``d`` is keyed by the value of ``columns_by_variable[d]``
+    (all listed columns must agree, else the row can never join and is
+    dropped); the last level maps values to ``True``.  Returns the
+    trie and the number of rows inserted — the figure the
+    :class:`~repro.engine.executor.IndexCache` row budget counts.
+    """
+    root: dict = {}
+    inserted = 0
+    if not columns_by_variable:
+        return root, 0
+    for row in rows:
+        key = []
+        for columns in columns_by_variable:
+            value = row[columns[0]]
+            if any(row[c] != value for c in columns[1:]):
+                key = None
+                break
+            key.append(value)
+        if key is None:
+            continue
+        node = root
+        for value in key[:-1]:
+            node = node.setdefault(value, {})
+        node[key[-1]] = True
+        inserted += 1
+    return root, inserted
+
+
+@dataclass(frozen=True)
+class WcojRun:
+    """What one :class:`MultiwayJoinOp` execution actually did.
+
+    The record the soundness property tests read: ``output_rows`` —
+    the only rows the operator materializes beyond its inputs — must
+    stay within ``agm``, the fractional-edge-cover bound the planner
+    certified.  ``probes``/``candidates`` count intersection work
+    (hash probes into non-pivot tries; values enumerated from pivot
+    tries), the generic-join analogue of build/probe counters.
+    """
+
+    variables: int
+    leaves: int
+    agm: float
+    output_rows: int
+    candidates: int
+    probes: int
+
+    def render(self) -> str:
+        return (
+            f"[vars={self.variables} inputs={self.leaves} "
+            f"agm={self.agm:g} rows={self.output_rows} "
+            f"candidates={self.candidates} probes={self.probes}]"
+        )
+
+
+def generic_join(
+    tries: Sequence[dict],
+    leaf_variables: Sequence[frozenset[int]],
+    order: Sequence[int],
+    counters: dict[str, int] | None = None,
+) -> list[tuple]:
+    """All complete bindings supported by every trie (NPRR generic join).
+
+    ``tries[k]`` must be keyed by ``leaf_variables[k]`` sorted in
+    ``order`` (see :func:`leaf_trie_layout`).  Returns bindings as
+    tuples indexed by variable id.  At each depth the pivot is the
+    participating input with the fewest candidates; its values are
+    enumerated and hash-probed into the others, so the work per level
+    is proportional to the smallest candidate set — the property the
+    worst-case analysis needs.
+    """
+    depth_count = len(order)
+    if counters is None:
+        counters = {}
+    counters.setdefault("candidates", 0)
+    counters.setdefault("probes", 0)
+    participants = [
+        tuple(
+            k
+            for k, variables in enumerate(leaf_variables)
+            if order[d] in variables
+        )
+        for d in range(depth_count)
+    ]
+    if any(not p for p in participants):
+        raise SchemaError(
+            "generic join: a variable in the order occurs in no input"
+        )
+    cursors = list(tries)
+    width = max(order, default=-1) + 1
+    binding = [None] * width
+    out: list[tuple] = []
+
+    def recurse(d: int) -> None:
+        if d == depth_count:
+            out.append(tuple(binding))
+            return
+        parts = participants[d]
+        pivot = min(parts, key=lambda k: len(cursors[k]))
+        base = cursors[pivot]
+        others = tuple(k for k in parts if k != pivot)
+        variable = order[d]
+        counters["candidates"] += len(base)
+        for value, descended in base.items():
+            advanced = [(pivot, descended)]
+            supported = True
+            for k in others:
+                counters["probes"] += 1
+                nxt = cursors[k].get(value)
+                if nxt is None:
+                    supported = False
+                    break
+                advanced.append((k, nxt))
+            if not supported:
+                continue
+            saved = tuple((k, cursors[k]) for k, __ in advanced)
+            for k, nxt in advanced:
+                cursors[k] = nxt
+            binding[variable] = value
+            recurse(d + 1)
+            for k, previous in saved:
+                cursors[k] = previous
+
+    recurse(0)
+    return out
+
+
+def run_multiway(executor, node) -> list[Row]:
+    """Execute a :class:`~repro.engine.plan.MultiwayJoinOp`.
+
+    Inputs come through the executor's usual per-node memo; the
+    per-input tries go through its :class:`~repro.engine.executor.
+    IndexCache` (keyed by the input's *logical* expression plus the
+    trie layout, so repeated runs against unchanged contents reuse the
+    builds and a version-token move invalidates them with everything
+    else).  Leaves a :class:`WcojRun` in ``executor.stats.wcoj_runs``.
+    """
+    inputs = [executor._rows(child) for child in node.relations]
+    tries: list[dict] = []
+    leaf_variables: list[frozenset[int]] = []
+    for child, rows, attrs_k in zip(node.relations, inputs, node.attrs):
+        variables, columns = leaf_trie_layout(attrs_k, node.order)
+        tries.append(
+            executor.indexes.trie_for(child.logical, rows, columns)
+        )
+        leaf_variables.append(frozenset(variables))
+    counters: dict[str, int] = {}
+    bindings = generic_join(tries, leaf_variables, node.order, counters)
+    out = [
+        tuple(binding[v] for attrs_k in node.attrs for v in attrs_k)
+        for binding in bindings
+    ]
+    executor.stats.wcoj_runs[node] = WcojRun(
+        variables=len(node.order),
+        leaves=len(node.relations),
+        agm=node.agm,
+        output_rows=len(out),
+        candidates=counters["candidates"],
+        probes=counters["probes"],
+    )
+    return out

@@ -149,6 +149,44 @@ def zipf_weights(count: int, skew: float) -> list[float]:
     return [1.0 / (rank**skew) for rank in range(1, count + 1)]
 
 
+def zipf_triangle_db(
+    wings: int,
+    tail: int = 0,
+    skew: float = 1.0,
+    seed: int = 0,
+    names: Sequence[str] = ("E", "F", "G"),
+) -> Database:
+    """Triangle edge relations where binary plans go quadratic.
+
+    Each relation holds the hub star ``{(i,0)} ∪ {(0,i)} ∪ {(0,0)}``
+    for ``i`` in ``1..wings``: joining any two pairs *all* wings
+    through hub vertex 0 — a ``Θ(wings²)`` intermediate — while the
+    triangle query's output stays ``3·wings+1`` rows and its AGM bound
+    ``(2·wings+1)^{3/2}``.  ``tail`` extra edges per relation are drawn
+    over a Zipf-skewed vertex domain (popular low vertices, rare high
+    ones — the skewed-column workload shape), so the inputs are not
+    purely the adversarial star.
+    """
+    star = (
+        {(i, 0) for i in range(1, wings + 1)}
+        | {(0, i) for i in range(1, wings + 1)}
+        | {(0, 0)}
+    )
+    rng = random.Random(seed)
+    vertices = list(range(1, wings + 1))
+    weights = zipf_weights(wings, skew)
+    relations: dict[str, set[Row]] = {}
+    for name in names:
+        edges = set(star)
+        for __ in range(tail):
+            u, v = rng.choices(vertices, weights=weights, k=2)
+            edges.add((u, v))
+        relations[name] = edges
+    return Database(
+        Schema({name: 2 for name in names}), relations
+    )
+
+
 def zipf_set_relation(
     num_sets: int,
     min_size: int,

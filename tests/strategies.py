@@ -242,6 +242,103 @@ def join_chains(
     return parts[0]
 
 
+#: Schema for cyclic join queries: four binary edge relations, enough
+#: for triangles, 4-cycles and bowties (leaves may repeat — self-joins).
+CYCLE_SCHEMA = Schema({"E": 2, "F": 2, "G": 2, "H": 2})
+
+#: Zipf-ish value pool: value ``v`` appears ``⌊8/(v+1)⌋`` times, so low
+#: values are heavy hitters and cyclic joins develop the skewed hubs
+#: that separate binary intermediates from the AGM bound.
+ZIPF_POOL = tuple(v for v in range(8) for _ in range(8 // (v + 1)))
+
+
+def cycle_expr(names, schema: Schema = CYCLE_SCHEMA) -> Expr:
+    """A k-cycle query over binary edge relations, as a left-deep chain.
+
+    ``names[i]`` holds edge ``(v_i, v_{i+1})`` and the last relation
+    closes the cycle back to ``v_0``: the triangle ``E(a,b) ⋈ F(b,c) ⋈
+    G(c,a)`` is ``cycle_expr(("E", "F", "G"))``.  Written with binary
+    joins (chain atoms plus one closing atom), exactly the shape the
+    planner may collapse into a ``MultiwayJoinOp``.
+    """
+    acc: Expr = Rel(names[0], schema[names[0]])
+    last = len(names) - 1
+    for i, name in enumerate(names[1:], start=1):
+        atoms = [Atom(2 * i, "=", 1)]
+        if i == last:
+            atoms.append(Atom(1, "=", 2))
+        acc = Join(acc, Rel(name, schema[name]), Condition(tuple(atoms)))
+    return acc
+
+
+def bowtie_expr(schema: Schema = CYCLE_SCHEMA) -> Expr:
+    """Two triangles sharing one vertex: 6 leaves, 2 of them self-joins.
+
+    Vertices ``a,b,c,d,e`` with triangle ``E(a,b) F(b,c) G(c,a)`` and
+    triangle ``H(a,d) E(d,e) F(e,a)`` — the classic bowtie, whose join
+    hypergraph is cyclic but not a single cycle.
+    """
+    acc = cycle_expr(("E", "F", "G"), schema)
+    acc = Join(
+        acc, Rel("H", schema["H"]), Condition((Atom(1, "=", 1),))
+    )
+    acc = Join(
+        acc, Rel("E", schema["E"]), Condition((Atom(8, "=", 1),))
+    )
+    return Join(
+        acc,
+        Rel("F", schema["F"]),
+        Condition((Atom(10, "=", 1), Atom(1, "=", 2))),
+    )
+
+
+@st.composite
+def cyclic_joins(draw, schema: Schema = CYCLE_SCHEMA) -> Expr:
+    """Random cyclic equi-join queries (the multiway-join workload).
+
+    Triangles and 4-cycles over random edge relations, triangles
+    joining one relation to itself three times (self-join cycles — the
+    three leaves share statistics *and* trie builds), and the bowtie.
+    """
+    kind = draw(
+        st.sampled_from(("triangle", "four_cycle", "self_join", "bowtie"))
+    )
+    names = sorted(schema)
+    if kind == "triangle":
+        picked = draw(st.permutations(names))
+        return cycle_expr(tuple(picked[:3]), schema)
+    if kind == "four_cycle":
+        return cycle_expr(tuple(draw(st.permutations(names))), schema)
+    if kind == "self_join":
+        name = draw(st.sampled_from(names))
+        return cycle_expr((name, name, name), schema)
+    return bowtie_expr(schema)
+
+
+@st.composite
+def skewed_databases(
+    draw, schema: Schema = CYCLE_SCHEMA, max_rows: int = 12
+) -> Database:
+    """Random databases with Zipf-skewed columns (see :data:`ZIPF_POOL`).
+
+    Uniform tiny domains rarely produce the hub vertices that make
+    cyclic queries adversarial for binary plans; sampling values from
+    the skewed pool does.
+    """
+    values = st.sampled_from(ZIPF_POOL)
+    relations = {
+        name: draw(
+            st.frozensets(
+                st.tuples(*([values] * schema[name])),
+                min_size=0,
+                max_size=max_rows,
+            )
+        )
+        for name in schema
+    }
+    return Database(schema, relations)
+
+
 def sa_eq_expressions(
     schema: Schema = TEST_SCHEMA,
     max_depth: int = 4,

@@ -144,3 +144,144 @@ def test_prop26_witness_family_keeps_linear_division_under_costs():
     keys = len({a for a, __ in db["R"]})
     root_annotation = first.split("{", 1)[1].split("}", 1)[0]
     assert f"ub={keys}" in root_annotation
+
+
+# ----------------------------------------------------------------------
+# Exhaustive node-kind coverage: every operator renders and roundtrips
+# ----------------------------------------------------------------------
+
+
+def _plan_node_kinds() -> set:
+    """Every concrete PlanNode subclass the engine defines."""
+    import repro.engine.plan as plan_module
+    from repro.engine.plan import PlanNode
+
+    return {
+        cls
+        for cls in vars(plan_module).values()
+        if isinstance(cls, type)
+        and issubclass(cls, PlanNode)
+        and cls is not PlanNode
+    }
+
+
+def _representative_plans() -> list:
+    """One planned (or hand-wrapped) example per operator kind.
+
+    ``ParallelOp``/``PartitionedOp``/``MultiwayJoinOp`` were added
+    without printer coverage — this sweep pins every current *and*
+    future node kind to the rendering contract (the exhaustiveness
+    guard below fails when a new operator ships without an example).
+    """
+    from repro.data.database import Database, database
+    from repro.engine.plan import ParallelOp
+    from repro.extended.ast import GroupBy, Sort
+    from tests.strategies import CYCLE_SCHEMA, cycle_expr
+
+    core = [
+        "R union R",
+        "R minus R",
+        "project[1](R)",
+        "select[1=2](R)",
+        "R join[2=1] R",      # hash join
+        "R join[1<2] R",      # nested loop join
+        "R semijoin[2=1] R",  # hash semijoin
+        "R semijoin[1<1] R",  # nested-loop semijoin
+    ]
+    schema = {"R": 2, "S": 1}
+    plans = [
+        plan_expression(parse(text, schema)) for text in core
+    ]
+    from repro.algebra.ast import ConstantTag, Rel
+
+    plans.append(plan_expression(ConstantTag(Rel("R", 2), 5)))
+    plans.append(plan_expression(classic_division_expr()))
+    plans.append(plan_expression(GroupBy(Rel("R", 2), (1,), ())))
+    plans.append(plan_expression(Sort(Rel("R", 2), (1,))))
+    # Cost-gated operators need databases that actually trigger them.
+    edge = frozenset(
+        {(i, 0) for i in range(1, 21)}
+        | {(0, i) for i in range(1, 21)}
+        | {(0, 0)}
+    )
+    hub = Database(CYCLE_SCHEMA, {name: edge for name in CYCLE_SCHEMA})
+    plans.append(Executor(hub).plan(cycle_expr(("E", "F", "G"))))
+    join_db = database(
+        {"R": 2, "S": 1},
+        R=[(i, i % 7) for i in range(60)],
+        S=[(j,) for j in range(7)],
+    )
+    partitioned = Executor(join_db).plan(
+        parse("R join[2=1] S", {"R": 2, "S": 1}),
+        PlannerOptions(partition_budget=16),
+    )
+    plans.append(partitioned)
+    inner = partitioned.nodes()
+    plans.append(
+        ParallelOp(
+            next(n for n in inner if type(n).__name__ == "HashJoinOp"),
+            1,
+            None,
+            2,
+        )
+    )
+    return plans
+
+
+def test_every_plan_node_kind_has_a_rendering_example():
+    covered = {
+        type(node)
+        for plan in _representative_plans()
+        for node in plan.nodes()
+    }
+    missing = {
+        cls.__name__ for cls in _plan_node_kinds() - covered
+    }
+    assert not missing, (
+        f"plan node kinds without explain coverage: {sorted(missing)} — "
+        "add a representative plan to _representative_plans()"
+    )
+
+
+def test_every_node_kind_explains_and_core_logicals_roundtrip():
+    from repro.extended.ast import GroupBy, Sort
+
+    for plan in _representative_plans():
+        text = plan.explain()
+        for line in text.splitlines():
+            assert SEPARATOR in line, line
+        for node in plan.nodes():
+            logical = node.logical
+            rendered = to_ascii(logical)
+            assert rendered  # extended γ/sort render but do not parse
+            if not isinstance(logical, (GroupBy, Sort)):
+                schema = {"R": 2, "S": 1, "E": 2, "F": 2, "G": 2, "H": 2}
+                assert parse(rendered, schema) == logical
+
+
+def test_multiway_label_fingerprint_and_note_render():
+    from repro.data.database import Database
+    from repro.engine import MultiwayJoinOp
+    from tests.strategies import CYCLE_SCHEMA, cycle_expr
+
+    edge = frozenset(
+        {(i, 0) for i in range(1, 21)}
+        | {(0, i) for i in range(1, 21)}
+        | {(0, 0)}
+    )
+    hub = Database(CYCLE_SCHEMA, {name: edge for name in CYCLE_SCHEMA})
+    executor = Executor(hub)
+    expr = cycle_expr(("E", "F", "G"))
+    plan = executor.plan(expr)
+    node = next(
+        n for n in plan.nodes() if isinstance(n, MultiwayJoinOp)
+    )
+    assert node.label().startswith("MultiwayJoin[vars=")
+    assert f"agm={node.agm:g}" in node.label()
+    assert SEPARATOR not in node.label()
+    assert node.fingerprint() == plan.fingerprint()
+    text = explain(expr, plan=plan, costs=True, catalog=executor.catalog)
+    first = text.splitlines()[0]
+    assert "MultiwayJoin[vars=" in first
+    assert "worst-case-optimal" in first
+    parse(first.split(SEPARATOR, 1)[1], CYCLE_SCHEMA)  # must not raise

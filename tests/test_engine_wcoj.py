@@ -1,0 +1,400 @@
+"""Worst-case-optimal multiway join: differential correctness + gate.
+
+The contract under test (see ``docs/algorithms.md`` § Worst-case-
+optimal joins):
+
+* the generic join computes exactly what the binary engine and the
+  structural oracle compute, on random cyclic queries over Zipf-skewed
+  databases (differential property);
+* its materialization is bounded: the rows a ``MultiwayJoinOp`` emits
+  never exceed the AGM fractional-edge-cover bound the planner stamped
+  on the node (soundness property, read from the per-run
+  :class:`~repro.engine.wcoj.WcojRun` records);
+* the planner collapses a chain iff the AGM bound *certifiably* beats
+  the best binary plan's peak intermediate bound — dense cyclic inputs
+  collapse, selective chains stay binary, ``use_multiway=False`` and
+  zero-stats planning never collapse;
+* trie builds ride the executor's :class:`~repro.engine.executor.
+  IndexCache`: repeated runs reuse them, a contents mutation (version
+  token) invalidates them along with everything else;
+* a set partition budget keeps the collapse out whenever the one-shot
+  working set could exceed it, and ``PartitionedOp`` refuses to wrap
+  the operator outright.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.algebra.ast import Join, Rel
+from repro.algebra.conditions import Atom, Condition
+from repro.algebra.evaluator import evaluate
+from repro.data.database import Database, database
+from repro.data.schema import Schema
+from repro.engine import (
+    Executor,
+    MultiwayJoinOp,
+    PartitionedOp,
+    PlannerOptions,
+    StatsCatalog,
+    fractional_edge_cover,
+)
+from repro.engine.partition import apply_partitioning
+from repro.engine.plan import ScanOp
+from repro.engine.planner import _flatten_logical_join, explain
+from repro.engine.wcoj import (
+    build_trie,
+    choose_order,
+    generic_join,
+    leaf_trie_layout,
+    variable_layout,
+)
+from repro.errors import SchemaError
+from repro.session import Session
+from tests.strategies import (
+    CYCLE_SCHEMA,
+    bowtie_expr,
+    cycle_expr,
+    cyclic_joins,
+    skewed_databases,
+)
+
+PROPERTY = settings(
+    max_examples=60,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def hub_db(m: int, schema: Schema = CYCLE_SCHEMA) -> Database:
+    """Edge relations with one hub vertex — the adversarial triangle.
+
+    Every relation is ``{(i,0)} ∪ {(0,i)} ∪ {(0,0)}``: a binary plan's
+    first join pairs all wings through the hub (Θ(m²) intermediate)
+    while the triangle output is only ``3m+1`` rows and the AGM bound
+    ``(2m+1)^{3/2}``.
+    """
+    edge = frozenset(
+        {(i, 0) for i in range(1, m + 1)}
+        | {(0, i) for i in range(1, m + 1)}
+        | {(0, 0)}
+    )
+    return Database(schema, {name: edge for name in schema})
+
+
+def collapsed(expr, db: Database) -> MultiwayJoinOp:
+    """Hand-collapse ``expr``'s join chain into a ``MultiwayJoinOp``.
+
+    Bypasses the planner's profitability gate so the differential and
+    soundness properties exercise the operator on *every* generated
+    query, not only the ones the gate favors.
+    """
+    leaves, __, atoms = _flatten_logical_join(expr)
+    plans = tuple(ScanOp(leaf) for leaf in leaves)
+    attrs = variable_layout([leaf.arity for leaf in leaves], atoms)
+    catalog = StatsCatalog(db)
+    cards = [float(catalog.relation(leaf.name).rows) for leaf in leaves]
+    agm, __ = fractional_edge_cover(
+        [frozenset(row) for row in attrs], cards
+    )
+    return MultiwayJoinOp(
+        plans, attrs, choose_order(attrs, cards), agm, expr
+    )
+
+
+def multiway_nodes(plan):
+    found, stack = [], [plan]
+    while stack:
+        node = stack.pop()
+        stack.extend(node.children())
+        if isinstance(node, MultiwayJoinOp):
+            found.append(node)
+    return found
+
+
+# ----------------------------------------------------------------------
+# Differential properties: multiway ≡ binary ≡ structural oracle
+# ----------------------------------------------------------------------
+
+
+@PROPERTY
+@given(cyclic_joins(), skewed_databases())
+def test_multiway_operator_matches_oracle(expr, db):
+    """Forced generic join ≡ brute-force structural evaluation."""
+    oracle = evaluate(expr, db)
+    executor = Executor(db)
+    assert executor.execute(collapsed(expr, db)) == oracle
+
+
+@PROPERTY
+@given(cyclic_joins(), skewed_databases())
+def test_planned_engine_matches_binary_and_oracle(expr, db):
+    """Whatever the gate decides, all three evaluations agree."""
+    oracle = evaluate(expr, db)
+    multi = Executor(db)
+    assert multi.execute(multi.plan(expr)) == oracle
+    binary = Executor(db)
+    options = PlannerOptions(use_multiway=False)
+    plan = binary.plan(expr, options)
+    assert not multiway_nodes(plan)
+    assert binary.execute(plan) == oracle
+
+
+# ----------------------------------------------------------------------
+# Soundness: materialization within the certified AGM bound
+# ----------------------------------------------------------------------
+
+
+@PROPERTY
+@given(cyclic_joins(), skewed_databases())
+def test_output_within_agm_bound(expr, db):
+    executor = Executor(db)
+    node = collapsed(expr, db)
+    result = executor.execute(node)
+    run = executor.stats.wcoj_runs[node]
+    assert run.output_rows == len(result)
+    assert run.output_rows <= run.agm + 1e-9, (
+        f"generic join emitted {run.output_rows} rows against a "
+        f"certified AGM bound of {run.agm}"
+    )
+    # The operator's whole working set is inputs + certified output.
+    inputs = sum(
+        executor.stats.node_rows[child] for child in node.relations
+    )
+    assert executor.stats.max_in_flight() <= inputs + run.agm + 1e-9
+
+
+@PROPERTY
+@given(cyclic_joins(), skewed_databases())
+def test_estimates_stay_sound_upper_bounds(expr, db):
+    executor = Executor(db)
+    executor.execute(executor.plan(expr))
+    pairs = executor.stats.estimation_pairs()
+    assert pairs
+    for node, actual, estimate in pairs:
+        assert estimate.sound, node.label()
+        assert actual <= estimate.upper + 1e-9, node.label()
+
+
+# ----------------------------------------------------------------------
+# Plan choice: when the gate collapses, and when it must not
+# ----------------------------------------------------------------------
+
+
+class TestPlanChoice:
+    def test_dense_triangle_collapses(self):
+        db = hub_db(40)
+        executor = Executor(db)
+        plan = executor.plan(cycle_expr(("E", "F", "G")))
+        nodes = multiway_nodes(plan)
+        assert len(nodes) == 1
+        node = nodes[0]
+        assert "AGM bound" in node.note
+        assert node.agm == pytest.approx(81.0**1.5)
+        # And it runs: oracle-identical, within the bound.
+        expr = cycle_expr(("E", "F", "G"))
+        assert executor.execute(plan) == evaluate(expr, db)
+        run = executor.stats.wcoj_runs[node]
+        assert run.output_rows == 3 * 40 + 1
+        assert run.output_rows <= run.agm
+
+    def test_selective_middle_chain_stays_binary(self):
+        # Acyclic chain with a 1-row middle: every binary intermediate
+        # is tiny while the AGM bound is |E|·|G| — nothing to beat.
+        db = database(
+            {"E": 2, "F": 2, "G": 2},
+            E=[(i, i) for i in range(20)],
+            F=[(0, 0)],
+            G=[(i, i) for i in range(20)],
+        )
+        chain = Join(
+            Join(
+                Rel("E", 2), Rel("F", 2), Condition((Atom(2, "=", 1),))
+            ),
+            Rel("G", 2),
+            Condition((Atom(4, "=", 1),)),
+        )
+        plan = Executor(db).plan(chain)
+        assert not multiway_nodes(plan)
+
+    def test_zero_stats_planning_keeps_binary(self):
+        from repro.engine import plan_expression
+
+        plan = plan_expression(cycle_expr(("E", "F", "G")))
+        assert not multiway_nodes(plan)
+
+    def test_use_multiway_false_keeps_binary(self):
+        db = hub_db(40)
+        options = PlannerOptions(use_multiway=False)
+        plan = Executor(db).plan(cycle_expr(("E", "F", "G")), options)
+        assert not multiway_nodes(plan)
+        rendered = explain(
+            cycle_expr(("E", "F", "G")),
+            options=options,
+            plan=plan,
+        )
+        assert "MultiwayJoin" not in rendered
+
+    def test_non_equality_atom_keeps_binary(self):
+        db = hub_db(12)
+        cyclic = cycle_expr(("E", "F", "G"))
+        ordered = Join(
+            cyclic.left, cyclic.right, Condition(
+                tuple(cyclic.cond) + (Atom(2, "<", 2),)
+            )
+        )
+        plan = Executor(db).plan(ordered)
+        assert not multiway_nodes(plan)
+
+    def test_bowtie_collapses_and_matches_oracle(self):
+        db = hub_db(12)
+        expr = bowtie_expr()
+        executor = Executor(db)
+        plan = executor.plan(expr)
+        assert multiway_nodes(plan)
+        assert executor.execute(plan) == evaluate(expr, db)
+
+
+# ----------------------------------------------------------------------
+# Explain rendering
+# ----------------------------------------------------------------------
+
+
+def test_explain_costs_renders_vars_and_agm():
+    db = hub_db(40)
+    with Session(db) as session:
+        rendered = session.explain(
+            "(E join[2=1] F) join[4=1, 1=2] G", costs=True
+        )
+    assert "MultiwayJoin[vars=" in rendered
+    assert "agm=" in rendered
+    assert "worst-case-optimal" in rendered
+
+
+# ----------------------------------------------------------------------
+# Trie cache: reuse across runs, invalidation on mutation
+# ----------------------------------------------------------------------
+
+
+class TestTrieCache:
+    def test_second_run_reuses_tries(self):
+        db = hub_db(20)
+        executor = Executor(db)
+        node = collapsed(cycle_expr(("E", "F", "G")), db)
+        executor.execute(node)
+        builds = executor.indexes.builds
+        assert builds >= 3
+        executor.reset_query_state()
+        executor.execute(node)
+        assert executor.indexes.builds == builds
+        assert executor.indexes.reuses >= 3
+
+    def test_mutation_invalidates_tries(self):
+        db = hub_db(6)
+        expr = cycle_expr(("E", "F", "G"))
+        executor = Executor(db)
+        executor.execute(collapsed(expr, db))
+        builds = executor.indexes.builds
+        db._relations = {
+            **db._relations,
+            "E": frozenset({(0, 0), (1, 0), (0, 1)}),
+        }
+        # Version check drops the index cache; rebuilt tries see the
+        # new contents and the result matches the post-mutation oracle.
+        result = executor.execute(collapsed(expr, db))
+        assert executor.indexes.builds >= 3
+        assert executor.indexes.builds != builds or executor.version
+        assert result == evaluate(expr, db)
+
+    def test_trie_and_flat_index_keys_never_collide(self):
+        from repro.engine import IndexCache
+
+        cache = IndexCache()
+        rows = [(1, 2), (3, 4)]
+        flat = cache.index_for("R", rows, (1,))
+        trie = cache.trie_for("R", rows, ((0,),))
+        assert cache.builds == 2  # distinct entries, no collision
+        assert flat is not trie
+        assert cache.trie_for("R", rows, ((0,),)) is trie
+        assert cache.reuses == 1
+
+
+# ----------------------------------------------------------------------
+# Partition-budget interaction: one-shot only
+# ----------------------------------------------------------------------
+
+
+class TestPartitionBudget:
+    def test_small_budget_keeps_binary(self):
+        db = hub_db(40)
+        options = PlannerOptions(partition_budget=50)
+        plan = Executor(db).plan(cycle_expr(("E", "F", "G")), options)
+        assert not multiway_nodes(plan)
+
+    def test_large_budget_collapses_with_one_shot_note(self):
+        db = hub_db(40)
+        options = PlannerOptions(partition_budget=10_000)
+        executor = Executor(db)
+        expr = cycle_expr(("E", "F", "G"))
+        plan = executor.plan(expr, options)
+        nodes = multiway_nodes(plan)
+        assert len(nodes) == 1
+        assert "one-shot only" in nodes[0].note
+        assert executor.execute(plan) == evaluate(expr, db)
+
+    def test_partitioned_op_refuses_multiway(self):
+        db = hub_db(6)
+        node = collapsed(cycle_expr(("E", "F", "G")), db)
+        with pytest.raises(SchemaError):
+            PartitionedOp(node, 2, 10)
+
+    def test_apply_partitioning_annotates_instead_of_wrapping(self):
+        db = hub_db(20)
+        node = collapsed(cycle_expr(("E", "F", "G")), db)
+        from repro.engine.cost import CostModel
+
+        rebuilt = apply_partitioning(node, CostModel(StatsCatalog(db)), 5)
+        assert isinstance(rebuilt, MultiwayJoinOp)
+        assert "refusing PartitionedOp fusion" in rebuilt.note
+
+
+# ----------------------------------------------------------------------
+# Unit coverage for the wcoj building blocks
+# ----------------------------------------------------------------------
+
+
+class TestBuildingBlocks:
+    def test_variable_layout_triangle(self):
+        # E(a,b) F(b,c) G(c,a): global 0-based columns 0..5, with b
+        # merging columns 1/2, c merging 3/4, a closing 5 back to 0.
+        attrs = variable_layout(
+            [2, 2, 2],
+            [(1, "=", 2), (3, "=", 4), (5, "=", 0)],
+        )
+        assert attrs == ((0, 1), (1, 2), (2, 0))
+
+    def test_variable_layout_rejects_order_atoms(self):
+        with pytest.raises(SchemaError):
+            variable_layout([2, 2], [(1, "<", 2)])
+
+    def test_build_trie_drops_disagreeing_duplicate_columns(self):
+        # One input whose two columns were equated: (1, 2) can never
+        # satisfy the implied self-filter and must not be inserted.
+        trie, inserted = build_trie([(1, 1), (1, 2)], ((0, 1),))
+        assert inserted == 1
+        assert trie == {1: True}
+
+    def test_generic_join_rejects_uncovered_variable(self):
+        with pytest.raises(SchemaError):
+            generic_join([{1: True}], [frozenset({0})], (0, 1))
+
+    def test_choose_order_prefers_shared_variables(self):
+        # Variable 1 is in both inputs, variables 0 and 2 in one each.
+        attrs = ((0, 1), (1, 2))
+        order = choose_order(attrs, [10.0, 10.0])
+        assert order[0] == 1
+
+    def test_leaf_trie_layout_sorts_by_global_order(self):
+        variables, columns = leaf_trie_layout((2, 0), (1, 2, 0))
+        assert variables == (2, 0)
+        assert columns == ((0,), (1,))
