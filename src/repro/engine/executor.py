@@ -33,6 +33,7 @@ tests and benchmarks assert against.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict, defaultdict
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
@@ -176,6 +177,14 @@ class IndexCache:
     only forgets the cache's reference).  ``builds``/``reuses`` count
     events, not live entries, so a rebuild after eviction is a second
     build, not a reuse.
+
+    All public methods are thread-safe: the serving layer
+    (:mod:`repro.serve`) shares one executor across client threads,
+    and an unguarded ``move_to_end`` racing a ``popitem`` corrupts the
+    eviction order (or dies with ``KeyError`` mid-rebalance).  Builds
+    happen inside the lock — two threads asking for the same index
+    get one build, which is the cache's whole point; the hammer
+    regression lives in ``tests/test_serve_threads.py``.
     """
 
     def __init__(self, row_budget: int = DEFAULT_INDEX_ROWS) -> None:
@@ -188,6 +197,7 @@ class IndexCache:
             "tuple[dict[tuple[Value, ...], list[Row]], int]]" = (
             OrderedDict()
         )
+        self._lock = threading.Lock()
         self.row_budget = row_budget
         self.builds = 0
         self.reuses = 0
@@ -203,27 +213,20 @@ class IndexCache:
         positions: tuple[int, ...],
     ) -> dict[tuple[Value, ...], list[Row]]:
         cache_key = (key, positions)
-        cached = self._indexes.get(cache_key)
-        if cached is not None:
-            self._indexes.move_to_end(cache_key)
-            self.reuses += 1
-            return cached[0]
-        index: dict[tuple[Value, ...], list[Row]] = defaultdict(list)
-        count = 0
-        for row in rows:
-            index[tuple(row[p - 1] for p in positions)].append(row)
-            count += 1
-        built = dict(index)
-        self._indexes[cache_key] = (built, count)
-        self.builds += 1
-        self.rows_indexed += count
-        while (
-            self.rows_indexed > self.row_budget and len(self._indexes) > 1
-        ):
-            __, (___, evicted_rows) = self._indexes.popitem(last=False)
-            self.rows_indexed -= evicted_rows
-            self.evictions += 1
-        return built
+        with self._lock:
+            cached = self._indexes.get(cache_key)
+            if cached is not None:
+                self._indexes.move_to_end(cache_key)
+                self.reuses += 1
+                return cached[0]
+            index: dict[tuple[Value, ...], list[Row]] = defaultdict(list)
+            count = 0
+            for row in rows:
+                index[tuple(row[p - 1] for p in positions)].append(row)
+                count += 1
+            built = dict(index)
+            self._admit(cache_key, built, count)
+            return built
 
     def trie_for(
         self,
@@ -239,14 +242,20 @@ class IndexCache:
         input and columns never collide — their payload shapes differ.
         """
         cache_key = (key, ("trie",) + columns_by_variable)
-        cached = self._indexes.get(cache_key)
-        if cached is not None:
-            self._indexes.move_to_end(cache_key)
-            self.reuses += 1
-            return cached[0]
-        from repro.engine.wcoj import build_trie
+        with self._lock:
+            cached = self._indexes.get(cache_key)
+            if cached is not None:
+                self._indexes.move_to_end(cache_key)
+                self.reuses += 1
+                return cached[0]
+            from repro.engine.wcoj import build_trie
 
-        built, count = build_trie(rows, columns_by_variable)
+            built, count = build_trie(rows, columns_by_variable)
+            self._admit(cache_key, built, count)
+            return built
+
+    def _admit(self, cache_key, built, count: int) -> None:
+        """Record a fresh build and rebalance the LRU (lock held)."""
         self._indexes[cache_key] = (built, count)
         self.builds += 1
         self.rows_indexed += count
@@ -256,7 +265,6 @@ class IndexCache:
             __, (___, evicted_rows) = self._indexes.popitem(last=False)
             self.rows_indexed -= evicted_rows
             self.evictions += 1
-        return built
 
     def __len__(self) -> int:
         return len(self._indexes)
@@ -307,6 +315,12 @@ class ResultCache:
     two code paths; bypassed lookups are counted separately
     (``disabled_lookups``), never as misses, so hit rates describe
     only lookups the cache actually served.
+
+    ``get``/``put``/``invalidate`` are thread-safe (one lock): the
+    serving layer's worker sessions and any caller sharing a session
+    across threads would otherwise race ``move_to_end`` against
+    LRU eviction and corrupt the eviction order or the byte
+    accounting (hammer regression in ``tests/test_serve_threads.py``).
     """
 
     def __init__(
@@ -323,6 +337,7 @@ class ResultCache:
         self._entries: "OrderedDict[tuple, tuple[Relation, int]]" = (
             OrderedDict()
         )
+        self._lock = threading.Lock()
         self.total_bytes = 0
         self.hits = 0
         self.misses = 0
@@ -341,13 +356,14 @@ class ResultCache:
         if not self.enabled:
             self.disabled_lookups += 1
             return None
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return entry[0]
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry[0]
 
     def put(self, key: tuple, result: Relation) -> None:
         """Store ``result``, evicting LRU entries past the byte budget."""
@@ -356,22 +372,27 @@ class ResultCache:
         size = _result_bytes(result)
         if size > self.byte_budget:
             return  # would evict everything and still not fit
-        old = self._entries.pop(key, None)
-        if old is not None:
-            self.total_bytes -= old[1]
-        self._entries[key] = (result, size)
-        self.total_bytes += size
-        while self.total_bytes > self.byte_budget and len(self._entries) > 1:
-            __, (___, evicted_size) = self._entries.popitem(last=False)
-            self.total_bytes -= evicted_size
-            self.evictions += 1
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self.total_bytes -= old[1]
+            self._entries[key] = (result, size)
+            self.total_bytes += size
+            while (
+                self.total_bytes > self.byte_budget
+                and len(self._entries) > 1
+            ):
+                __, (___, evicted_size) = self._entries.popitem(last=False)
+                self.total_bytes -= evicted_size
+                self.evictions += 1
 
     def invalidate(self) -> None:
         """Drop every entry (called on version-token movement)."""
-        if self._entries:
-            self.invalidations += 1
-        self._entries.clear()
-        self.total_bytes = 0
+        with self._lock:
+            if self._entries:
+                self.invalidations += 1
+            self._entries.clear()
+            self.total_bytes = 0
 
     def stats_line(self) -> str:
         if not self.enabled:

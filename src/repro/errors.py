@@ -65,6 +65,31 @@ class StaleDataError(ReproError):
     """
 
 
+class AdmissionError(ReproError):
+    """The serving layer refused a query its sound bound cannot fit.
+
+    Raised by :class:`repro.serve.admission.AdmissionController` when a
+    query's certified upper bound on rows in flight exceeds the
+    server's *total* budget (no amount of queueing could ever make it
+    fit), or when the bound is not certified at all (infinite/unsound)
+    while a budget is in force.  Queries that fit the budget but not
+    the *current* headroom are queued, not rejected — only provably
+    unservable work gets this error.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        tenant: str | None = None,
+        bound: float | None = None,
+        budget: float | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.tenant = tenant
+        self.bound = bound
+        self.budget = budget
+
+
 class UniverseError(ReproError):
     """A value outside a universe, or an unsatisfiable freshness request."""
 

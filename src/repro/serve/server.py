@@ -1,0 +1,719 @@
+"""The serving core: many clients, one engine, snapshot-pinned reads.
+
+A :class:`Server` multiplexes concurrent client sessions over **one**
+shared database and executor.  The parts, and where the heavy lifting
+already lives:
+
+* **Snapshot isolation** (this module).  Every read is pinned at
+  submit time to the backend contents current at that moment: the pin
+  is the descriptor from :meth:`~repro.storage.backend.Backend.
+  export_snapshot`, resolved back to relations by
+  :func:`~repro.storage.attach_snapshot` wherever the read actually
+  runs.  Memory-backend pins carry rows by value and stay servable
+  forever; shm/mmap pins are by-reference — a write re-encodes the
+  backend and the old storage evaporates, so attaching a stale pin
+  raises the engine's existing :class:`~repro.errors.StaleDataError`,
+  which the server answers by re-pricing and re-pinning the read
+  against the fresh snapshot and retrying **once**.
+* **Admission and fairness** (:mod:`repro.serve.admission`).  Reads
+  are priced by the cost model's certified upper bounds before they
+  run; the sum debits the server's in-flight row budget, over-budget
+  reads wait in per-tenant weighted-fair order, and provably
+  unservable reads are refused with
+  :class:`~repro.errors.AdmissionError` up front.
+* **Execution** (:mod:`repro.session`, unchanged).  Reads run in a
+  spawn-context process pool — *spawn*, because the server process has
+  client and callback threads alive, and forking a threaded process
+  can clone held locks into the child.  Each worker process keeps a
+  small LRU of per-snapshot :class:`~repro.session.Session` objects
+  (memory backend, serial plans), so consecutive reads against the
+  same snapshot reuse indexes, statistics, and the result cache.  The
+  pool is sized by :func:`~repro.engine.parallel.available_cpus`;
+  ``workers=0`` — or a pool that breaks mid-run — degrades to running
+  the identical task function inline, serialized, with the same
+  semantics.
+* **Writes** (this module) are serialized under the scheduler lock:
+  apply the delta, bump the content generation, append to the write
+  log, refresh the backend.  The write log plus the base contents make
+  :meth:`Server.database_at` exact — the serial oracle the stress
+  tests and the workload lab replay admitted reads against.
+
+Locking discipline: one scheduler lock guards pricing, admission,
+generation/snapshot state, and metrics; **no query executes under
+it**.  Dispatch — handing a ticket to the pool or running it inline —
+always happens after the lock is released, and completion callbacks
+re-acquire it only for bookkeeping.  ``tests/test_serve_server.py``
+drives the whole surface; ``docs/serving.md`` is the narrative tour.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import replace
+
+from repro.algebra.ast import Expr
+from repro.data.database import Database
+from repro.engine.parallel import available_cpus
+from repro.engine.planner import PlannerOptions
+from repro.errors import AdmissionError, SchemaError, StaleDataError
+from repro.serve.admission import AdmissionController, price_plan
+from repro.serve.metrics import MetricsRegistry, ServerMetrics
+from repro.session import Session
+
+__all__ = ["ClientHandle", "Server", "Ticket"]
+
+
+# ----------------------------------------------------------------------
+# Worker side (module-level: spawn-context workers import this module
+# and look these up by qualified name)
+# ----------------------------------------------------------------------
+
+#: Per-process LRU of snapshot sessions, keyed by the pinned version
+#: token.  Two entries: the common steady state is "current generation
+#: plus the one a just-landed write obsoleted".
+_SNAPSHOT_SESSIONS: "OrderedDict[int, Session]" = OrderedDict()
+_SNAPSHOT_SESSION_BOUND = 2
+
+
+def _session_for_snapshot(token, descriptor, schema) -> Session:
+    session = _SNAPSHOT_SESSIONS.get(token)
+    if session is not None:
+        _SNAPSHOT_SESSIONS.move_to_end(token)
+        return session
+    from repro.storage.snapshot import attach_snapshot
+
+    relations = attach_snapshot(descriptor)
+    session = Session(Database(schema, relations), backend="memory")
+    _SNAPSHOT_SESSIONS[token] = session
+    while len(_SNAPSHOT_SESSIONS) > _SNAPSHOT_SESSION_BOUND:
+        __, stale = _SNAPSHOT_SESSIONS.popitem(last=False)
+        stale.close()
+    return session
+
+
+def _run_pinned(token, descriptor, schema, expr, options):
+    """Execute one pinned read; the task a pool worker runs.
+
+    Returns ``(rows, actual_rows, max_in_flight, cached)``.  Raises
+    :class:`~repro.errors.StaleDataError` when the pin's storage is
+    gone (the server's cue to re-pin and retry).  Also the inline
+    fallback path: the server calls this very function in-process when
+    it has no pool, so both modes execute identical code.
+    """
+    session = _session_for_snapshot(token, descriptor, schema)
+    rows = session.run(expr, options)
+    report = session.last_report
+    return (
+        rows,
+        report.stats.total_rows(),
+        report.stats.max_in_flight(),
+        report.cached,
+    )
+
+
+# ----------------------------------------------------------------------
+# Tickets
+# ----------------------------------------------------------------------
+
+
+class Ticket:
+    """One submitted read: a waitable handle plus its audit trail.
+
+    Clients call :meth:`result`; everything else is written exactly
+    once by the server and read by tests, metrics, and the lab's
+    oracle replay (``pinned_generation`` names the write-log state the
+    rows must match).
+    """
+
+    def __init__(
+        self,
+        tenant: str,
+        expr: Expr,
+        text: str | None,
+        options: PlannerOptions,
+    ) -> None:
+        self.tenant = tenant
+        self.expr = expr
+        self.text = text
+        self.options = options
+        #: Admission price (re-written if the read is re-pinned).
+        self.bound = 0.0
+        self.sound = False
+        self.expected_rows = 0.0
+        #: The snapshot this read is pinned to.
+        self.pinned_generation = -1
+        self.pinned_token: int | None = None
+        self._descriptor = None
+        #: True once the read was re-pinned after a stale snapshot.
+        self.retried = False
+        #: Outcome.
+        self.rows = None
+        self.error: BaseException | None = None
+        self.actual_rows = 0
+        self.max_in_flight = 0
+        self.cached = False
+        #: Timing (``time.perf_counter`` seconds).
+        self.submitted_at = time.perf_counter()
+        self.dispatched_at: float | None = None
+        self.finished_at: float | None = None
+        self.queue_seconds = 0.0
+        self.run_seconds = 0.0
+        self._done = threading.Event()
+
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def exception(self, timeout: float | None = None) -> BaseException | None:
+        """Wait for completion; the error, or None on success."""
+        if not self._done.wait(timeout):
+            raise TimeoutError(
+                f"read for tenant {self.tenant!r} still pending"
+            )
+        return self.error
+
+    def result(self, timeout: float | None = None):
+        """Wait for completion; the rows, or raise what the read raised."""
+        error = self.exception(timeout)
+        if error is not None:
+            raise error
+        return self.rows
+
+
+# ----------------------------------------------------------------------
+# Client handles
+# ----------------------------------------------------------------------
+
+
+class ClientHandle:
+    """One tenant's connection-style view of a :class:`Server`.
+
+    Thin by design: a handle owns no engine state, just an identity
+    (tenant name, fair-share weight, default options) that every
+    submit carries to the scheduler, so handles are cheap enough to
+    make one per client thread.
+    """
+
+    def __init__(
+        self,
+        server: "Server",
+        tenant: str,
+        weight: float,
+        options: PlannerOptions | None,
+    ) -> None:
+        self.server = server
+        self.tenant = tenant
+        self.weight = weight
+        self.options = options
+        self.closed = False
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise SchemaError(
+                f"client handle for tenant {self.tenant!r} is closed"
+            )
+
+    def submit(
+        self, query, options: PlannerOptions | None = None
+    ) -> Ticket:
+        """Pin, price, and (maybe) dispatch a read; returns its ticket."""
+        self._check_open()
+        return self.server._submit(self, query, options)
+
+    def run(
+        self,
+        query,
+        options: PlannerOptions | None = None,
+        timeout: float | None = None,
+    ):
+        """Submit and wait; returns the rows (the synchronous form)."""
+        return self.submit(query, options).result(timeout)
+
+    def explain(self, query, costs: bool = False) -> str:
+        """Render the plan the server would price this query with."""
+        self._check_open()
+        return self.server._explain(query, options=self.options, costs=costs)
+
+    def write(self, additions=None, removals=None) -> int:
+        """Apply a serialized write; returns the new generation."""
+        self._check_open()
+        return self.server._write(
+            self.tenant, additions=additions, removals=removals
+        )
+
+    def close(self) -> None:
+        self.closed = True
+
+    def __enter__(self) -> "ClientHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# The server
+# ----------------------------------------------------------------------
+
+
+class Server:
+    """Concurrent multi-tenant serving over one shared database.
+
+    Parameters
+    ----------
+    db:
+        The shared :class:`~repro.data.database.Database`.  Writes go
+        through :meth:`ClientHandle.write` and mutate this handle's
+        contents in place (the engine's established swap idiom), so
+        outside mutation while a server is open breaks the write log's
+        oracle guarantee — don't.
+    workers:
+        Pool size for read execution; ``None`` means
+        :func:`~repro.engine.parallel.available_cpus`, ``0`` means no
+        pool (reads run inline, serialized — the deterministic mode
+        the oracle tests use).
+    budget:
+        The in-flight certified-row budget
+        (:class:`~repro.serve.admission.AdmissionController`);
+        ``None`` disables admission gating.
+    options:
+        Server-wide :class:`~repro.engine.planner.PlannerOptions`
+        (handles and submits can override per query).
+    backend:
+        Storage kind for the shared backend — ``"memory"`` pins travel
+        by value; ``"shm"``/``"mmap"`` pins travel by reference
+        through the PR 7 zero-copy transport.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        workers: int | None = None,
+        budget: float | None = None,
+        options: PlannerOptions | None = None,
+        backend=None,
+    ) -> None:
+        self.db = db
+        # Pricing/snapshot authority.  Result caching stays off: this
+        # session never executes reads, it only plans them.
+        self._session = Session(
+            db, options=options, cache_results=False, backend=backend
+        )
+        self.options = self._session.options
+        self.workers = (
+            available_cpus() if workers is None else max(0, int(workers))
+        )
+        self._admission = AdmissionController(budget)
+        self._metrics = MetricsRegistry()
+        self._lock = threading.Lock()
+        #: Serializes inline (pool-less) execution: worker sessions are
+        #: engine objects and the engine is single-threaded per session.
+        self._inline_lock = threading.Lock()
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_broken = False
+        self._closed = False
+        #: Content history: base contents + ordered write deltas give
+        #: the exact database at any served generation.
+        self._generation = 0
+        self._base_relations = dict(db.relations())
+        self._write_log: list[tuple[int, dict, dict]] = []
+        #: Cached snapshot descriptor, keyed by version token.
+        self._descriptor = None
+        self._descriptor_token: int | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def connect(
+        self,
+        tenant: str = "default",
+        weight: float = 1.0,
+        options: PlannerOptions | None = None,
+    ) -> ClientHandle:
+        """A handle submitting as ``tenant`` with fair-share ``weight``."""
+        with self._lock:
+            self._check_open()
+            self._admission.queue.set_weight(tenant, weight)
+            self._metrics.tenant(tenant, weight)
+        return ClientHandle(self, tenant, weight, options)
+
+    def close(self) -> None:
+        """Fail queued reads, stop the pool, release storage (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            orphaned = []
+            while True:
+                popped = self._admission.queue.pop(float("inf"))
+                if popped is None:
+                    break
+                orphaned.append(popped[2])
+            pool = self._pool
+            self._pool = None
+        for ticket in orphaned:
+            ticket.error = SchemaError(
+                "server closed while this read was queued"
+            )
+            ticket._done.set()
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=False)
+        self._session.close()
+
+    def __enter__(self) -> "Server":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise SchemaError("server is closed")
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    def metrics(self) -> ServerMetrics:
+        """A consistent snapshot of every counter (see serve.metrics)."""
+        with self._lock:
+            return self._metrics.snapshot(
+                in_flight_rows=self._admission.in_flight,
+                in_flight_peak=self._admission.peak,
+                budget=self._admission.budget,
+                queue_depth=len(self._admission.queue),
+                generation=self._generation,
+                workers=self.workers,
+                backend=self._session.executor.backend.kind,
+            )
+
+    @property
+    def generation(self) -> int:
+        """Writes applied since the server opened."""
+        return self._generation
+
+    def database_at(self, generation: int) -> Database:
+        """The exact contents a read pinned at ``generation`` saw.
+
+        Replays the write log over the base contents — the serial
+        oracle the stress tests and the lab compare admitted reads
+        against.
+        """
+        with self._lock:
+            if not 0 <= generation <= self._generation:
+                raise SchemaError(
+                    f"no generation {generation}; server has applied "
+                    f"{self._generation} write(s)"
+                )
+            log = [
+                entry for entry in self._write_log
+                if entry[0] <= generation
+            ]
+        relations = {
+            name: set(rows) for name, rows in self._base_relations.items()
+        }
+        for __, additions, removals in log:
+            for name, rows in removals.items():
+                relations[name].difference_update(rows)
+            for name, rows in additions.items():
+                relations[name].update(rows)
+        return Database(self.db.schema, relations)
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    def _resolve_options(
+        self, handle: ClientHandle, options: PlannerOptions | None
+    ) -> tuple[PlannerOptions, PlannerOptions]:
+        """``(pricing options, worker options)`` for one submit.
+
+        Pricing happens on the server's backend (cost constants match
+        where the shared bytes live); execution happens in a worker
+        whose snapshot is always a memory-backend session running
+        serial plans — one process per read is the parallelism here,
+        nesting pools inside workers would just oversubscribe.
+        """
+        base = options or handle.options or self.options
+        pricing = base
+        if pricing.backend != self.options.backend:
+            pricing = replace(pricing, backend=self.options.backend)
+        worker = replace(base, backend="memory", max_workers=1)
+        return pricing, worker
+
+    def _current_snapshot(self):
+        """``(generation, token, descriptor)`` — scheduler lock held."""
+        executor = self._session.executor
+        executor.check_version()
+        token = executor.version
+        if token != self._descriptor_token:
+            self._descriptor = executor.backend.export_snapshot()
+            self._descriptor_token = token
+        return self._generation, token, self._descriptor
+
+    def _submit(
+        self,
+        handle: ClientHandle,
+        query,
+        options: PlannerOptions | None,
+    ) -> Ticket:
+        expr = (
+            self._session.parse(query) if isinstance(query, str) else query
+        )
+        if not isinstance(expr, Expr):
+            raise SchemaError(
+                "submit needs expression text or an Expr, got "
+                f"{type(query).__name__}"
+            )
+        text = query if isinstance(query, str) else None
+        pricing, worker = self._resolve_options(handle, options)
+        ticket = Ticket(handle.tenant, expr, text, worker)
+        with self._lock:
+            self._check_open()
+            tenant = self._metrics.tenant(handle.tenant)
+            tenant.submitted += 1
+            self._price_and_pin(ticket, pricing)
+            try:
+                ready = self._admission.submit(
+                    handle.tenant, ticket.bound, ticket.sound, ticket
+                )
+            except AdmissionError:
+                tenant.rejected += 1
+                raise
+            dispatched_now = any(t is ticket for __, __, t in ready)
+            if not dispatched_now:
+                tenant.queued += 1
+            batch = self._note_dispatched(ready)
+        self._dispatch_batch(batch)
+        return ticket
+
+    def _price_and_pin(
+        self, ticket: Ticket, pricing: PlannerOptions
+    ) -> None:
+        """Price ``ticket`` and pin it to the current snapshot (lock held)."""
+        executor = self._session.executor
+        plan = executor.plan(ticket.expr, pricing)
+        price = price_plan(executor, plan)
+        ticket.bound = price.bound
+        ticket.sound = price.sound
+        ticket.expected_rows = price.expected_rows
+        generation, token, descriptor = self._current_snapshot()
+        ticket.pinned_generation = generation
+        ticket.pinned_token = token
+        ticket._descriptor = descriptor
+
+    def _note_dispatched(self, ready) -> list[Ticket]:
+        """Dispatch-time bookkeeping for drained reads (lock held)."""
+        batch = []
+        now = time.perf_counter()
+        for __, bound, ticket in ready:
+            ticket.dispatched_at = now
+            ticket.queue_seconds = now - ticket.submitted_at
+            tenant = self._metrics.tenant(ticket.tenant)
+            if not ticket.retried:
+                tenant.admitted += 1
+            tenant.queue_seconds += ticket.queue_seconds
+            tenant.queue_seconds_max = max(
+                tenant.queue_seconds_max, ticket.queue_seconds
+            )
+            batch.append(ticket)
+        return batch
+
+    def _dispatch_batch(self, batch: list[Ticket]) -> None:
+        for ticket in batch:
+            self._dispatch(ticket)
+
+    def _ensure_pool(self) -> ProcessPoolExecutor | None:
+        if self.workers <= 0 or self._pool_broken or self._closed:
+            return None
+        if self._pool is None:
+            # Spawn, not fork: this process has client/callback threads.
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=multiprocessing.get_context("spawn"),
+            )
+        return self._pool
+
+    def _dispatch(self, ticket: Ticket) -> None:
+        """Hand an admitted, debited read to execution (lock NOT held)."""
+        pool = self._ensure_pool()
+        task = (
+            ticket.pinned_token,
+            ticket._descriptor,
+            self.db.schema,
+            ticket.expr,
+            ticket.options,
+        )
+        if pool is not None:
+            try:
+                future = pool.submit(_run_pinned, *task)
+            except (BrokenProcessPool, RuntimeError):
+                self._degrade_pool()
+                self._dispatch(ticket)
+                return
+            future.add_done_callback(
+                lambda f, t=ticket: self._on_future(t, f)
+            )
+            return
+        try:
+            with self._inline_lock:
+                payload = _run_pinned(*task)
+        except BaseException as error:  # noqa: BLE001 - forwarded to ticket
+            self._complete(ticket, error=error)
+        else:
+            self._complete(ticket, payload=payload)
+
+    def _degrade_pool(self) -> None:
+        """A broken pool never comes back: finish the run inline."""
+        pool, self._pool, self._pool_broken = self._pool, None, True
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def _on_future(self, ticket: Ticket, future) -> None:
+        try:
+            payload = future.result()
+        except BrokenProcessPool:
+            # The pool died under this read (a worker was killed, not a
+            # query error): degrade and re-run the same pin inline.
+            self._degrade_pool()
+            self._dispatch(ticket)
+        except BaseException as error:  # noqa: BLE001 - forwarded to ticket
+            self._complete(ticket, error=error)
+        else:
+            self._complete(ticket, payload=payload)
+
+    def _complete(
+        self, ticket: Ticket, payload=None, error=None
+    ) -> None:
+        """Completion bookkeeping + queue pump (lock NOT held on entry)."""
+        if isinstance(error, StaleDataError) and not ticket.retried:
+            self._retry(ticket)
+            return
+        now = time.perf_counter()
+        with self._lock:
+            batch = self._note_dispatched(
+                self._admission.release(ticket.bound)
+            )
+            tenant = self._metrics.tenant(ticket.tenant)
+            if ticket.dispatched_at is not None:
+                ticket.run_seconds = now - ticket.dispatched_at
+                tenant.run_seconds += ticket.run_seconds
+            ticket.finished_at = now
+            if error is not None:
+                ticket.error = error
+                tenant.failed += 1
+            else:
+                rows, actual, in_flight, cached = payload
+                ticket.rows = rows
+                ticket.actual_rows = actual
+                ticket.max_in_flight = in_flight
+                ticket.cached = cached
+                tenant.completed += 1
+                tenant.rows_returned += len(rows)
+                tenant.bound_rows += ticket.bound
+                tenant.actual_rows += actual
+                if cached:
+                    tenant.cache_hits += 1
+        ticket._done.set()
+        self._dispatch_batch(batch)
+
+    def _retry(self, ticket: Ticket) -> None:
+        """Re-price and re-pin a read whose snapshot evaporated mid-run.
+
+        The original debit is credited back, the read is priced against
+        the *current* statistics (its certified bound must be sound for
+        the snapshot it will actually execute on), and it goes through
+        admission again — which may dispatch it, queue it, or reject it
+        outright if the fresh bound no longer fits the whole budget.
+        """
+        with self._lock:
+            batch = self._note_dispatched(
+                self._admission.release(ticket.bound)
+            )
+            ticket.retried = True
+            tenant = self._metrics.tenant(ticket.tenant)
+            tenant.retried += 1
+            rejection = None
+            if self._closed:
+                rejection = SchemaError(
+                    "server closed while this read was being retried"
+                )
+            else:
+                self._price_and_pin(ticket, self._reprice_options(ticket))
+                try:
+                    ready = self._admission.submit(
+                        ticket.tenant, ticket.bound, ticket.sound, ticket
+                    )
+                except AdmissionError as error:
+                    tenant.rejected += 1
+                    rejection = error
+                else:
+                    batch.extend(self._note_dispatched(ready))
+        if rejection is not None:
+            ticket.error = rejection
+            ticket.finished_at = time.perf_counter()
+            ticket._done.set()
+        self._dispatch_batch(batch)
+
+    def _reprice_options(self, ticket: Ticket) -> PlannerOptions:
+        options = ticket.options
+        if options.backend != self.options.backend:
+            options = replace(options, backend=self.options.backend)
+        return options
+
+    def _explain(
+        self,
+        query,
+        options: PlannerOptions | None = None,
+        costs: bool = False,
+    ) -> str:
+        with self._lock:
+            self._check_open()
+            return self._session.explain(query, costs=costs, options=options)
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+
+    def _write(self, tenant: str, additions=None, removals=None) -> int:
+        additions = {
+            name: frozenset(tuple(row) for row in rows)
+            for name, rows in (additions or {}).items()
+        }
+        removals = {
+            name: frozenset(tuple(row) for row in rows)
+            for name, rows in (removals or {}).items()
+        }
+        with self._lock:
+            self._check_open()
+            # Build the successor contents first: Database's constructor
+            # validates names and arities, so a bad write changes nothing.
+            successor = self.db
+            if removals:
+                successor = successor.without_tuples(removals)
+            if additions:
+                successor = successor.with_tuples(additions)
+            # The engine's mutation idiom: swap contents behind the
+            # same handle; the version token moves, every executor
+            # cache invalidates on its next check.
+            self.db._relations = successor._relations
+            self._generation += 1
+            self._write_log.append(
+                (self._generation, additions, removals)
+            )
+            # Re-encode the shared backend now, while writes are still
+            # serialized: by-reference pins taken before this instant
+            # go stale (their readers retry); new pins see the new
+            # encoding.
+            self._session.executor.check_version()
+            self._metrics.tenant(tenant).writes += 1
+            return self._generation

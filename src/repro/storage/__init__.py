@@ -17,6 +17,7 @@ from repro.storage.backend import (
 from repro.storage.mmapio import MmapBackend
 from repro.storage.shm import SharedMemoryBackend
 from repro.storage.ship import BlockRef, Shipment, ShipmentWriter
+from repro.storage.snapshot import attach_snapshot
 
 __all__ = [
     "BACKEND_KINDS",
@@ -28,5 +29,6 @@ __all__ = [
     "SharedMemoryBackend",
     "Shipment",
     "ShipmentWriter",
+    "attach_snapshot",
     "open_backend",
 ]

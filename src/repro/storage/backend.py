@@ -41,6 +41,7 @@ pickle (:data:`~repro.engine.cost.PARALLEL_ATTACHED_ROW_COST` vs
 from __future__ import annotations
 
 import abc
+import threading
 
 from repro.algebra.evaluator import Relation
 from repro.data.database import Database
@@ -68,6 +69,12 @@ class Backend(abc.ABC):
     def __init__(self, db: Database) -> None:
         self._db = db
         self._closed = False
+        # close() must be idempotent *and* race-free: a Session used in
+        # a ``with`` block and closed explicitly too, or shared by the
+        # serving layer's threads, may close concurrently — without the
+        # atomic test-and-set two closers could both run a columnar
+        # backend's _release() and unlink its segment twice.
+        self._close_lock = threading.Lock()
 
     @property
     def db(self) -> Database:
@@ -115,11 +122,40 @@ class Backend(abc.ABC):
     def close(self) -> None:
         """Release backing storage; the backend is unusable afterwards.
 
-        Idempotent.  :meth:`~repro.session.Session.close` (and the
-        session context manager) call this so shared-memory segments
-        and spill files never outlive the session that created them.
+        Idempotent and thread-safe.  :meth:`~repro.session.Session.
+        close` (and the session context manager) call this so
+        shared-memory segments and spill files never outlive the
+        session that created them; only the first closer runs
+        :meth:`_close_once`, every later (or racing) call is a no-op.
         """
-        self._closed = True
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._close_once()
+
+    def _close_once(self) -> None:
+        """Release hook run by exactly one closer (nothing here)."""
+
+    def export_snapshot(self) -> tuple:
+        """A picklable descriptor of the current contents.
+
+        The serving layer (:mod:`repro.serve`) ships this to worker
+        processes, which rebuild the relation map with
+        :func:`repro.storage.snapshot.attach_snapshot` — by value for
+        the memory backend, by shared-segment name / spill path for
+        the columnar ones (the concurrent-attach path: many workers
+        decode one encoded image in place).  The descriptor identifies
+        the contents *at export time*; attaching after the storage was
+        re-encoded or released raises
+        :class:`~repro.errors.StaleDataError` on the attach side.
+        """
+        self._ensure_open()
+        return (
+            "rows",
+            self.version_token(),
+            {name: self._db[name] for name in self._db.schema.names()},
+        )
 
     def _ensure_open(self) -> None:
         if self._closed:
@@ -228,11 +264,26 @@ class ColumnarBackend(Backend):
             self._release()
             self._reload()
 
-    def close(self) -> None:
-        if not self._closed:
-            self._release()
-            self._decoded.clear()
-        super().close()
+    def _close_once(self) -> None:
+        self._release()
+        self._decoded.clear()
+
+    def export_snapshot(self) -> tuple:
+        """Descriptor naming the encoded image (see base docstring).
+
+        ``(kind, locator, layout)`` — the attach side maps/attaches
+        ``locator`` (segment name or spill path) and decodes each
+        relation from ``layout`` in place, so N workers share one
+        encoded copy.  Valid until the next :meth:`refresh` or
+        :meth:`close` releases the storage; attaching later raises
+        :class:`~repro.errors.StaleDataError`.
+        """
+        self._ensure_open()
+        self._ensure_fresh(self._token)
+        return (self.kind, self._locator(), dict(self._layout))
+
+    def _locator(self) -> str:
+        raise NotImplementedError
 
     #: Whether decoded relations are memoized (the shm backend keeps
     #: them — decode once per content version; the mmap backend decodes

@@ -137,3 +137,6 @@ class MmapBackend(ColumnarBackend):
         """The backing file's path (diagnostics and tests)."""
         self._ensure_open()
         return self._path
+
+    def _locator(self) -> str:
+        return self._path

@@ -135,3 +135,6 @@ class SharedMemoryBackend(ColumnarBackend):
         """The attachable segment name (diagnostics and tests)."""
         self._ensure_open()
         return self._segment.name
+
+    def _locator(self) -> str:
+        return self._segment.name

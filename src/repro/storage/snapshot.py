@@ -1,0 +1,95 @@
+"""Snapshot attach: rebuild a relation map from an exported descriptor.
+
+The serving layer (:mod:`repro.serve`) pins every read to the backend
+contents current at submit time.  The pin travels as the descriptor
+returned by :meth:`repro.storage.backend.Backend.export_snapshot`; a
+worker process hands it to :func:`attach_snapshot` and gets back the
+full ``name → frozenset(rows)`` map the read must execute against:
+
+* ``("rows", token, relations)`` — the memory backend's by-value form.
+  The relations ride inside the descriptor itself, so the snapshot
+  stays servable forever: a write after submit cannot take it away.
+* ``("shm", segment_name, layout)`` / ``("mmap", path, layout)`` — the
+  columnar backends' by-reference forms.  The worker attaches the one
+  encoded image (suppressed-tracker segment attach / read-only mmap)
+  and decodes every relation in place, so N workers share one copy —
+  the PR 7 zero-copy transport, reused for whole-database snapshots.
+
+By-reference snapshots live exactly as long as the backend keeps the
+encoded image: a write re-encodes (releasing the old segment or spill
+file), after which attaching the old descriptor raises
+:class:`~repro.errors.StaleDataError` — the same mid-query failure mode
+the engine already has, which the server answers by re-pinning the read
+to the fresh snapshot and retrying once.
+"""
+
+from __future__ import annotations
+
+from repro.data.database import Row
+from repro.errors import SchemaError, StaleDataError
+from repro.storage.columnar import decode_rows
+
+__all__ = ["attach_snapshot"]
+
+
+def _decode_all(
+    buffer, layout: dict[str, tuple[int, tuple]]
+) -> dict[str, frozenset[Row]]:
+    return {
+        name: frozenset(decode_rows(buffer, base, meta))
+        for name, (base, meta) in layout.items()
+    }
+
+
+def _stale(kind: str, locator: str) -> StaleDataError:
+    return StaleDataError(
+        f"{kind} snapshot {locator!r} is gone: the source database was "
+        "re-encoded (a write landed) or the backend closed after this "
+        "read was pinned — re-pin to the current snapshot and retry"
+    )
+
+
+def attach_snapshot(descriptor: tuple) -> dict[str, frozenset[Row]]:
+    """The relation map a descriptor pins (see module docstring).
+
+    Raises :class:`~repro.errors.StaleDataError` when a by-reference
+    descriptor's storage no longer exists, and
+    :class:`~repro.errors.SchemaError` on a malformed descriptor.
+    """
+    if not isinstance(descriptor, tuple) or len(descriptor) != 3:
+        raise SchemaError(
+            f"malformed snapshot descriptor: {descriptor!r}"
+        )
+    kind, locator, payload = descriptor
+    if kind == "rows":
+        return {
+            name: frozenset(rows) for name, rows in payload.items()
+        }
+    if kind == "shm":
+        from repro.storage.shm import attach_segment
+
+        try:
+            segment = attach_segment(locator)
+        except (FileNotFoundError, OSError) as error:
+            raise _stale(kind, locator) from error
+        try:
+            with memoryview(segment.buf) as view:
+                return _decode_all(view, payload)
+        finally:
+            segment.close()
+    if kind == "mmap":
+        from repro.storage.mmapio import attach_path
+
+        try:
+            mapping, view = attach_path(locator)
+        except (FileNotFoundError, OSError) as error:
+            raise _stale(kind, locator) from error
+        try:
+            return _decode_all(view, payload)
+        finally:
+            view.release()
+            mapping.close()
+    raise SchemaError(
+        f"unknown snapshot descriptor kind {kind!r}; expected "
+        "'rows', 'shm', or 'mmap'"
+    )

@@ -1,4 +1,9 @@
-"""Seeded workload generators for experiments and tests."""
+"""Seeded workload generators for experiments and tests.
+
+:mod:`repro.workloads.serving` adds the serving lab's named traffic
+scenarios (imported lazily where needed — it pulls in
+:mod:`repro.serve`).
+"""
 
 from repro.workloads.generators import (
     Family,

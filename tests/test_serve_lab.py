@@ -1,0 +1,218 @@
+"""Tests for the workload lab and the ``repro serve`` CLI.
+
+Scenarios run tiny (a few reads per stream) and inline (``workers=0``)
+so the suite stays fast and deterministic; every run here audits the
+oracle, which is the lab's strongest claim — admitted reads match the
+serial replay at their pinned generation even under the
+mutation-heavy mix.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro.serve.server as serve_server
+from repro.cli import main
+from repro.errors import SchemaError
+from repro.serve.lab import ScenarioSpec, StreamSpec, load_spec, run_scenario
+from repro.workloads.serving import (
+    SERVING_SCENARIOS,
+    build_database,
+    scenario,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_snapshot_cache():
+    yield
+    for session in serve_server._SNAPSHOT_SESSIONS.values():
+        session.close()
+    serve_server._SNAPSHOT_SESSIONS.clear()
+
+
+# ----------------------------------------------------------------------
+# Specs
+# ----------------------------------------------------------------------
+
+
+def test_stream_spec_validation():
+    with pytest.raises(SchemaError):
+        StreamSpec(tenant="t", queries=())
+    with pytest.raises(SchemaError):
+        StreamSpec(tenant="t", queries=("R",), write_every=2)
+    with pytest.raises(SchemaError):
+        ScenarioSpec(name="x", database="division", streams=())
+
+
+def test_load_spec_round_trips_json(tmp_path):
+    raw = {
+        "name": "handwritten",
+        "database": "division",
+        "budget": 5000,
+        "backend": "memory",
+        "oracle": True,
+        "streams": [
+            {
+                "tenant": "a",
+                "queries": ["R semijoin[2=1] S"],
+                "count": 3,
+                "weight": 2.0,
+            },
+            {
+                "tenant": "b",
+                "queries": ["project[1](R)"],
+                "count": 4,
+                "write_every": 2,
+                "writes": [[{"R": [[500, 0]]}, {}], [{}, {"R": [[500, 0]]}]],
+            },
+        ],
+    }
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(raw))
+    spec = load_spec(str(path))
+    assert spec.name == "handwritten"
+    assert spec.budget == 5000
+    assert spec.oracle
+    assert spec.streams[0].weight == 2.0
+    assert spec.streams[1].write_every == 2
+    assert spec.streams[1].writes[0][0] == {"R": [[500, 0]]}
+    # Dict input works too (the CLI's --spec path re-uses this).
+    assert load_spec(raw).name == "handwritten"
+
+
+def test_load_spec_reports_missing_keys():
+    with pytest.raises(SchemaError, match="missing required key"):
+        load_spec({"name": "x"})
+
+
+def test_unknown_database_and_scenario_names():
+    with pytest.raises(SchemaError, match="unknown scenario database"):
+        build_database("nope")
+    with pytest.raises(SchemaError, match="unknown serving scenario"):
+        scenario("nope")
+
+
+# ----------------------------------------------------------------------
+# Scenario runs (inline, oracle-audited)
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", sorted(SERVING_SCENARIOS))
+def test_named_scenarios_run_clean_with_oracle(name):
+    spec = scenario(name, reads=4, oracle=True)
+    result = run_scenario(spec, workers=0)
+    assert result.scenario == name
+    assert result.failed == 0
+    assert result.oracle_checked == result.completed > 0
+    assert result.oracle_mismatches == 0
+    assert result.throughput > 0
+    assert result.latency_p99 >= result.latency_p50 >= 0
+    assert result.metrics_text
+    # JSON-ready payload with the headline figures present.
+    payload = result.as_dict()
+    for key in (
+        "throughput",
+        "latency_p50",
+        "latency_p99",
+        "rejection_rate",
+        "in_flight_peak",
+    ):
+        assert key in payload
+
+
+def test_mutation_heavy_applies_writes_and_stays_oracle_clean():
+    result = run_scenario(
+        scenario("mutation_heavy", reads=6, oracle=True), workers=0
+    )
+    assert result.writes > 0
+    assert result.oracle_mismatches == 0
+    assert result.failed == 0
+
+
+@pytest.mark.parametrize("backend", ["memory", "shm", "mmap"])
+def test_scenario_runs_on_every_backend(backend):
+    result = run_scenario(
+        scenario("semijoin_only", reads=3, oracle=True),
+        workers=0,
+        backend=backend,
+    )
+    assert result.backend == backend
+    assert result.oracle_mismatches == 0
+    assert result.failed == 0
+
+
+def test_budget_pressure_rejects_and_reports():
+    # A budget below the mix's cheapest certified bound rejects
+    # everything; the lab must survive and report the rate.
+    result = run_scenario(
+        scenario("division_heavy", reads=3), workers=0, budget=3.0
+    )
+    assert result.completed == 0
+    assert result.rejected > 0
+    assert result.rejection_rate == 1.0
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+
+def test_cli_list_scenarios(capsys):
+    assert main(["serve", "--list-scenarios"]) == 0
+    out = capsys.readouterr().out
+    for name in SERVING_SCENARIOS:
+        assert name in out
+
+
+def test_cli_runs_named_scenario_with_stats_and_emit(capsys, tmp_path):
+    emit = tmp_path / "result.json"
+    code = main(
+        [
+            "serve",
+            "--scenario",
+            "semijoin_only",
+            "--reads",
+            "3",
+            "--workers",
+            "0",
+            "--oracle",
+            "--stats",
+            "--emit",
+            str(emit),
+        ]
+    )
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "throughput" in captured.out
+    assert "oracle" in captured.out
+    assert "sub=" in captured.err  # the --stats tenant table
+    payload = json.loads(emit.read_text())
+    assert payload["oracle_mismatches"] == 0
+    assert payload["scenario"] == "semijoin_only"
+
+
+def test_cli_runs_spec_file(capsys, tmp_path):
+    spec = {
+        "name": "cli-spec",
+        "database": "division",
+        "db_args": {"num_keys": 30},
+        "oracle": True,
+        "streams": [
+            {"tenant": "a", "queries": ["R semijoin[2=1] S"], "count": 2}
+        ],
+    }
+    path = tmp_path / "w.json"
+    path.write_text(json.dumps(spec))
+    assert main(["serve", "--spec", str(path), "--workers", "0"]) == 0
+    assert "cli-spec" in capsys.readouterr().out
+
+
+def test_cli_rejects_ambiguous_invocations(capsys):
+    assert main(["serve"]) == 2
+    assert (
+        main(["serve", "--scenario", "cyclic", "--spec", "x.json"]) == 2
+    )
+    err = capsys.readouterr().err
+    assert "exactly one" in err

@@ -1,0 +1,135 @@
+"""Thread-safety regressions for the state the serving layer shares.
+
+The serving layer (:mod:`repro.serve`) runs client and completion
+threads over engine objects that predate it, so the shared mutable
+state those objects carry must survive concurrent use:
+
+* :class:`~repro.engine.executor.IndexCache` and
+  :class:`~repro.engine.executor.ResultCache` — OrderedDict LRU state
+  (``move_to_end`` + eviction) corrupts under interleaving without the
+  locks these tests hammer;
+* :meth:`~repro.session.Session.close` — double-close from racing
+  threads must release shm segments / spill files exactly once (a
+  second unlink of a recreated name would yank live storage).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.data.database import Database
+from repro.engine.executor import IndexCache, ResultCache
+from repro.errors import SchemaError
+from repro.session import Session
+from repro.storage.shm import live_segment_names
+
+THREADS = 4
+ROUNDS = 300
+
+
+def _hammer(worker, threads=THREADS):
+    """Run ``worker(index)`` in N threads; re-raise any thread's error."""
+    errors = []
+
+    def wrapped(i):
+        try:
+            worker(i)
+        except BaseException as error:  # noqa: BLE001 - reported below
+            errors.append(error)
+
+    pool = [
+        threading.Thread(target=wrapped, args=(i,))
+        for i in range(threads)
+    ]
+    for t in pool:
+        t.start()
+    for t in pool:
+        t.join()
+    if errors:
+        raise errors[0]
+
+
+def test_index_cache_concurrent_build_and_evict():
+    # A tiny row budget forces constant eviction while other threads
+    # are inserting — the LRU rebalance races unguarded.
+    cache = IndexCache(row_budget=40)
+    relations = [
+        frozenset((i, j) for j in range(10)) for i in range(12)
+    ]
+
+    def worker(seed):
+        for round_no in range(ROUNDS):
+            which = (seed + round_no) % len(relations)
+            rows = relations[which]
+            index = cache.index_for(("rel", which), rows, (1,))
+            assert sum(len(v) for v in index.values()) == len(rows)
+            trie = cache.trie_for(("rel", which), rows, ((0,), (1,)))
+            assert trie
+
+    _hammer(worker)
+    # The budget invariant must hold after the storm too.
+    assert cache.rows_indexed <= cache.row_budget or len(cache._indexes) <= 1
+
+
+def test_result_cache_concurrent_get_put_invalidate():
+    cache = ResultCache(byte_budget=4096)
+    payloads = {
+        key: frozenset((key, i) for i in range(8)) for key in range(16)
+    }
+
+    def worker(seed):
+        for round_no in range(ROUNDS):
+            key = ("fp", (seed + round_no) % len(payloads))
+            cache.put(key, payloads[key[1]])
+            hit = cache.get(key)
+            # A concurrent eviction/invalidation may have removed it,
+            # but a hit must be the exact stored value.
+            if hit is not None:
+                assert hit == payloads[key[1]]
+            if round_no % 50 == 49:
+                cache.invalidate()
+
+    _hammer(worker)
+    stats_total = cache.hits + cache.misses
+    assert stats_total == THREADS * ROUNDS
+
+
+@pytest.mark.parametrize("backend", ["memory", "shm", "mmap"])
+def test_session_double_close_is_idempotent(backend):
+    db = Database({"R": 2}, {"R": [(1, 2), (3, 4)]})
+    session = Session(db, backend=backend)
+    assert len(session.run("R")) == 2
+    session.close()
+    session.close()  # second close: no error, no second unlink
+    assert session.closed
+    with pytest.raises(SchemaError):
+        session.run("R")
+
+
+@pytest.mark.parametrize("backend", ["memory", "shm", "mmap"])
+def test_session_concurrent_close_races(backend):
+    # Many threads racing close() on one session: the backend's
+    # release hook must run exactly once (shm: no stray segments, no
+    # double unlink of a name another test may have recreated).
+    for __ in range(10):
+        db = Database({"R": 2}, {"R": [(1, 2)]})
+        session = Session(db, backend=backend)
+        session.run("R")
+        _hammer(lambda i: session.close())
+        assert session.closed
+    if backend == "shm":
+        assert live_segment_names() == ()
+
+
+def test_close_after_backend_close_is_safe():
+    # The executor's close and a direct backend close can race in a
+    # serving teardown; whichever runs second must be a no-op.
+    db = Database({"R": 2}, {"R": [(1, 2)]})
+    session = Session(db, backend="shm")
+    session.run("R")
+    session.executor.backend.close()
+    session.close()
+    assert session.closed
+    assert live_segment_names() == ()
